@@ -1,0 +1,114 @@
+// Command elastic-opt runs the resource optimizer for an ML program and
+// prints the near-optimal configuration R*_P with optimization statistics —
+// the "initial resource optimization" entry point of Figure 2(b).
+//
+// Usage:
+//
+//	elastic-opt -program LinregCG -size M -cols 1000 -sparsity 1.0
+//	elastic-opt -program L2SVM -size L -grid equi -points 45 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/datagen"
+	"elasticml/internal/dml"
+	"elasticml/internal/hdfs"
+	"elasticml/internal/hop"
+	"elasticml/internal/opt"
+	"elasticml/internal/scripts"
+)
+
+func main() {
+	var (
+		program  = flag.String("program", "LinregCG", "ML program: LinregDS, LinregCG, L2SVM, MLogreg, GLM")
+		size     = flag.String("size", "M", "scenario size: XS, S, M, L, XL")
+		cols     = flag.Int64("cols", 1000, "feature count (1000 or 100)")
+		sparsity = flag.Float64("sparsity", 1.0, "input sparsity (1.0 dense, 0.01 sparse)")
+		grid     = flag.String("grid", "hybrid", "grid strategy: equi, exp, mem, hybrid")
+		points   = flag.Int("points", 15, "base grid points per dimension")
+		workers  = flag.Int("workers", 1, "parallel optimizer workers")
+		pruning  = flag.Bool("pruning", true, "enable block pruning")
+		cores    = flag.String("cores", "", "comma-separated CP core candidates, e.g. 1,4,12 (§6 extension)")
+		load     = flag.Float64("load", 0, "cluster utilization in [0,1) for load-aware optimization")
+	)
+	flag.Parse()
+
+	spec, ok := scripts.ByName(*program)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown program %q\n", *program)
+		os.Exit(2)
+	}
+	gridType, err := parseGrid(*grid)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cc := conf.DefaultCluster()
+	s := datagen.New(strings.ToUpper(*size), *cols, *sparsity)
+	fs := hdfs.New()
+	datagen.Describe(fs, s)
+
+	prog, err := dml.Parse(spec.Source)
+	if err != nil {
+		fatal(err)
+	}
+	comp := hop.NewCompiler(fs, spec.Params)
+	hp, err := comp.Compile(prog, spec.Source)
+	if err != nil {
+		fatal(err)
+	}
+
+	o := opt.New(cc)
+	o.Opts.GridCP, o.Opts.GridMR = gridType, gridType
+	o.Opts.Points = *points
+	o.Opts.Workers = *workers
+	o.Opts.DisablePruning = !*pruning
+	o.Opts.ClusterLoad = *load
+	if *cores != "" {
+		for _, c := range strings.Split(*cores, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(c), "%d", &n); err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad core candidate %q\n", c)
+				os.Exit(2)
+			}
+			o.Opts.CPCoreCandidates = append(o.Opts.CPCoreCandidates, n)
+		}
+	}
+	res := o.Optimize(hp)
+
+	fmt.Printf("program:   %s on %s\n", spec.Name, s)
+	fmt.Printf("cluster:   %d nodes x %v, alloc [%v, %v]\n",
+		cc.Nodes, cc.MemPerNode, cc.MinAlloc, cc.MaxAlloc)
+	fmt.Printf("R*:        %s (%d CP cores)\n", res.Res.String(), res.Res.Cores())
+	fmt.Printf("           %s\n", res.Res.Detailed())
+	fmt.Printf("est. cost: %.1f s\n", res.Cost)
+	st := res.Stats
+	fmt.Printf("effort:    %d block compilations, %d costings, %v (grid %dx%d, blocks %d/%d enumerated)\n",
+		st.BlockCompilations, st.Costings, st.OptTime,
+		st.CPPoints, st.MRPoints, st.RemainingBlocks, st.TotalBlocks)
+}
+
+func parseGrid(s string) (opt.GridType, error) {
+	switch strings.ToLower(s) {
+	case "equi":
+		return opt.GridEqui, nil
+	case "exp":
+		return opt.GridExp, nil
+	case "mem":
+		return opt.GridMem, nil
+	case "hybrid":
+		return opt.GridHybrid, nil
+	}
+	return 0, fmt.Errorf("unknown grid strategy %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "elastic-opt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command elastic-run executes an ML program end-to-end on the simulated
+// cluster under a static or optimized resource configuration, optionally
+// with runtime resource adaptation, and reports the simulated elapsed time
+// and execution statistics.
+//
+// Usage:
+//
+//	elastic-run -program LinregCG -size M -cp 16GB -mr 2GB
+//	elastic-run -program MLogreg -size M -classes 200 -optimize -adapt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"elasticml/internal/adapt"
+	"elasticml/internal/conf"
+	"elasticml/internal/datagen"
+	"elasticml/internal/dml"
+	"elasticml/internal/hdfs"
+	"elasticml/internal/hop"
+	"elasticml/internal/lop"
+	"elasticml/internal/opt"
+	"elasticml/internal/rt"
+	"elasticml/internal/scripts"
+)
+
+func main() {
+	var (
+		program  = flag.String("program", "LinregCG", "ML program: LinregDS, LinregCG, L2SVM, MLogreg, GLM")
+		size     = flag.String("size", "M", "scenario size: XS, S, M, L, XL")
+		cols     = flag.Int64("cols", 1000, "feature count")
+		sparsity = flag.Float64("sparsity", 1.0, "input sparsity")
+		cpFlag   = flag.String("cp", "2GB", "CP max heap (e.g. 512MB, 8GB)")
+		mrFlag   = flag.String("mr", "2GB", "MR task max heap")
+		optimize = flag.Bool("optimize", false, "run initial resource optimization")
+		doAdapt  = flag.Bool("adapt", false, "enable runtime resource adaptation")
+		classes  = flag.Int64("classes", 20, "label cardinality (table() output width)")
+		verbose  = flag.Bool("v", false, "stream program print() output")
+		explain  = flag.Bool("explain", false, "print the runtime plan before executing")
+	)
+	flag.Parse()
+
+	spec, ok := scripts.ByName(*program)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown program %q\n", *program)
+		os.Exit(2)
+	}
+	cc := conf.DefaultCluster()
+	s := datagen.New(strings.ToUpper(*size), *cols, *sparsity)
+	fs := hdfs.New()
+	datagen.Describe(fs, s)
+
+	prog, err := dml.Parse(spec.Source)
+	if err != nil {
+		fatal(err)
+	}
+	comp := hop.NewCompiler(fs, spec.Params)
+	hp, err := comp.Compile(prog, spec.Source)
+	if err != nil {
+		fatal(err)
+	}
+
+	cp, err := parseBytes(*cpFlag)
+	if err != nil {
+		fatal(err)
+	}
+	mrH, err := parseBytes(*mrFlag)
+	if err != nil {
+		fatal(err)
+	}
+	res := conf.NewResources(cp, mrH, hp.NumLeaf)
+	var optSecs float64
+	if *optimize {
+		o := opt.New(cc)
+		start := time.Now()
+		result := o.Optimize(hp)
+		optSecs = time.Since(start).Seconds()
+		res = result.Res
+		fmt.Printf("optimizer: R* = %s (estimated %.1fs, found in %v)\n",
+			res.String(), result.Cost, result.Stats.OptTime)
+	}
+
+	plan := lop.Select(hp, cc, res)
+	if *explain {
+		fmt.Print(lop.Explain(plan))
+	}
+	ip := rt.New(rt.ModeSim, fs, cc, res)
+	ip.Compiler = comp
+	ip.SimTableCols = *classes
+	if *verbose {
+		ip.Out = os.Stdout
+	}
+	var ad *adapt.Adapter
+	if *doAdapt {
+		ad = adapt.New(cc)
+		ip.Adapter = ad
+	}
+	if err := ip.Run(plan); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("program:    %s on %s\n", spec.Name, s)
+	fmt.Printf("config:     start %s, final %s\n", res.String(), ip.Res.String())
+	fmt.Printf("elapsed:    %.1f s simulated (+%.2f s optimization)\n", ip.SimTime, optSecs)
+	fmt.Printf("execution:  %d instructions, %d MR jobs, %d recompilations, %d migrations\n",
+		ip.Stats.Instructions, ip.Stats.MRJobs, ip.Stats.Recompiles, ip.Stats.Migrations)
+	if ad != nil && ad.Stats.Reoptimizations > 0 {
+		fmt.Printf("adaptation: %d re-optimizations (%v), %d migrations (%.1f s)\n",
+			ad.Stats.Reoptimizations, ad.Stats.OptTime, ad.Stats.Migrations, ad.Stats.MigrationTime)
+	}
+}
+
+// parseBytes accepts sizes like "512MB", "4.4GB".
+func parseBytes(s string) (conf.Bytes, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := conf.Bytes(1)
+	switch {
+	case strings.HasSuffix(s, "TB"):
+		mult, s = conf.TB, s[:len(s)-2]
+	case strings.HasSuffix(s, "GB"):
+		mult, s = conf.GB, s[:len(s)-2]
+	case strings.HasSuffix(s, "MB"):
+		mult, s = conf.MB, s[:len(s)-2]
+	case strings.HasSuffix(s, "KB"):
+		mult, s = conf.KB, s[:len(s)-2]
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return conf.Bytes(v * float64(mult)), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "elastic-run:", err)
+	os.Exit(1)
+}

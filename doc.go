@@ -1,0 +1,9 @@
+// Package elasticml is a from-scratch Go reproduction of "Resource
+// Elasticity for Large-Scale Machine Learning" (Huang, Boehm, Tian,
+// Reinwald, Tatikonda, Reiss — SIGMOD 2015): a cost-based resource
+// optimizer and runtime plan migration for declarative ML programs,
+// built on a complete SystemML-style compiler stack and discrete-event
+// simulators for HDFS, YARN, MapReduce, and a Spark-like executor
+// framework. See README.md for an overview, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the reproduced evaluation.
+package elasticml

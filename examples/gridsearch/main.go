@@ -1,0 +1,61 @@
+// Gridsearch: reproduces the Figure 1 cost surfaces interactively — the
+// estimated runtime of the two linear regression solvers across CP x MR
+// memory configurations, exposing their opposite memory preferences: DS is
+// compute bound (small CP, distributed plan wins), CG is IO bound (a CP
+// that pins X wins).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/cost"
+	"elasticml/internal/datagen"
+	"elasticml/internal/dml"
+	"elasticml/internal/hdfs"
+	"elasticml/internal/hop"
+	"elasticml/internal/lop"
+	"elasticml/internal/scripts"
+)
+
+func main() {
+	cc := conf.DefaultCluster()
+	scenario := datagen.New("M", 1000, 1.0) // X is 8 GB dense
+
+	for _, spec := range []scripts.Spec{scripts.LinregDS(), scripts.LinregCG()} {
+		fs := hdfs.New()
+		datagen.Describe(fs, scenario)
+		prog, err := dml.Parse(spec.Source)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hp, err := hop.NewCompiler(fs, spec.Params).Compile(prog, spec.Source)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est := cost.NewEstimator(cc)
+
+		fmt.Printf("\n%s on X(8GB)/y — estimated runtime [s]\n", spec.Name)
+		fmt.Printf("%8s", "MR\\CP")
+		for cp := 2; cp <= 20; cp += 3 {
+			fmt.Printf(" %6dG", cp)
+		}
+		fmt.Println()
+		var best float64
+		var bestCP, bestMR int
+		for mr := 2; mr <= 20; mr += 3 {
+			fmt.Printf("%7dG", mr)
+			for cp := 2; cp <= 20; cp += 3 {
+				res := conf.NewResources(conf.Bytes(cp)*conf.GB, conf.Bytes(mr)*conf.GB, hp.NumLeaf)
+				c := est.ProgramCost(lop.Select(hp, cc, res))
+				if best == 0 || c < best {
+					best, bestCP, bestMR = c, cp, mr
+				}
+				fmt.Printf(" %7.0f", c)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("sweet spot: CP=%dGB MR=%dGB at %.0fs\n", bestCP, bestMR, best)
+	}
+}

@@ -1,0 +1,92 @@
+// Mesos: the offer-based problem instantiation of §2.3. Instead of
+// requesting containers (YARN), the framework receives per-agent resource
+// offers and must decide: accept the smallest sufficient offer for the
+// optimal configuration R*, run a constrained re-optimization when offers
+// don't match, or decline and wait.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/datagen"
+	"elasticml/internal/dml"
+	"elasticml/internal/hdfs"
+	"elasticml/internal/hop"
+	"elasticml/internal/mesos"
+	"elasticml/internal/scripts"
+)
+
+func main() {
+	cc := conf.DefaultCluster()
+	fs := hdfs.New()
+	datagen.Describe(fs, datagen.New("M", 1000, 1.0)) // 8 GB dense
+
+	spec := scripts.LinregCG()
+	prog, err := dml.Parse(spec.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hp, err := hop.NewCompiler(fs, spec.Params).Compile(prog, spec.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	master := mesos.NewMaster(cc)
+	sched := mesos.NewScheduler(cc)
+	sched.Opt.Points = 7
+
+	decide := func(label string) {
+		offers := master.Offers()
+		fmt.Printf("%s: %d offers, largest %v\n", label, len(offers), largest(offers))
+		dec, err := sched.Decide(hp, offers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case dec.Decline:
+			fmt.Println("  -> declined (waiting for better offers)")
+		case dec.Constrained:
+			fmt.Printf("  -> constrained accept of offer %d: %s at %.1fs estimated\n",
+				dec.Accepted.ID, dec.Res.String(), dec.Cost)
+		default:
+			fmt.Printf("  -> accepted offer %d (agent %d): %s at %.1fs estimated\n",
+				dec.Accepted.ID, dec.Accepted.Agent, dec.Res.String(), dec.Cost)
+		}
+		if !dec.Decline {
+			if err := master.Accept(dec.Accepted, cc.ContainerSize(dec.Res.CP)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	decide("round 1 (idle cluster)")
+
+	// Another tenant grabs most of every agent: offers shrink below the
+	// preferred CP container.
+	for agent := 0; agent < cc.Nodes; agent++ {
+		offers := master.Offers()
+		for _, of := range offers {
+			if of.Agent == agent && of.Mem > 8*conf.GB {
+				_ = master.Accept(of, of.Mem-8*conf.GB)
+			}
+		}
+	}
+	decide("round 2 (loaded cluster, max offer 8GB)")
+
+	// Under deadline pressure waiting becomes expensive: the scheduler
+	// re-optimizes within the offered resources instead.
+	sched.WaitPenalty = 600
+	decide("round 3 (same offers, 10-minute wait penalty)")
+}
+
+func largest(offers []mesos.Offer) conf.Bytes {
+	var m conf.Bytes
+	for _, of := range offers {
+		if of.Mem > m {
+			m = of.Mem
+		}
+	}
+	return m
+}

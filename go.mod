@@ -1,0 +1,3 @@
+module elasticml
+
+go 1.22

@@ -1,0 +1,202 @@
+// Package adapt implements runtime resource adaptation (paper §4): when
+// dynamic recompilation of a block still spawns MR jobs (sizes have become
+// known and the initial configuration is off), the re-optimization scope is
+// expanded to the enclosing outer loop through the end of the call context,
+// the core resource optimizer is re-run against the now-known metadata, and
+// AM runtime migration is performed when the cost benefit amortizes the
+// migration costs.
+package adapt
+
+import (
+	"time"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/dml"
+	"elasticml/internal/hop"
+	"elasticml/internal/opt"
+	"elasticml/internal/perf"
+	"elasticml/internal/rt"
+	"elasticml/internal/yarn"
+)
+
+// Stats reports adaptation activity.
+type Stats struct {
+	// Reoptimizations counts resource re-optimization runs.
+	Reoptimizations int
+	// Migrations counts AM runtime migrations.
+	Migrations int
+	// OptTime is the cumulative re-optimization wall time.
+	OptTime time.Duration
+	// MigrationTime is the cumulative charged migration cost (seconds of
+	// simulated time).
+	MigrationTime float64
+	// ChainLength is the length of the AM process chain (paper §4.1: the
+	// chain of containers is rolled in when the program finishes).
+	ChainLength int
+}
+
+// Adapter implements rt.Adapter using the resource optimizer.
+type Adapter struct {
+	CC conf.Cluster
+	PM perf.Model
+	// Opt configures the re-optimization runs (grids, pruning, workers).
+	Opt opt.Options
+	// RM, when set, backs migrations with real container allocations (AM
+	// process chaining).
+	RM *yarn.ResourceManager
+	// MinBenefit requires the cost improvement to exceed the migration
+	// cost by this factor before migrating (1.0 = plain amortization).
+	MinBenefit float64
+	// LoadProvider, when set, reports current cluster utilization in
+	// [0,1); re-optimization then evaluates MR plans against only the
+	// remaining capacity (§6 "Cluster-Utilization-Based Adaptation"),
+	// shifting decisions toward single-node execution on loaded clusters.
+	LoadProvider func() float64
+
+	Stats Stats
+	chain []yarn.Container
+}
+
+// New returns an adapter with the paper's defaults.
+func New(cc conf.Cluster) *Adapter {
+	return &Adapter{CC: cc, PM: perf.Default(), Opt: opt.DefaultOptions(), MinBenefit: 1.0}
+}
+
+var _ rt.Adapter = (*Adapter)(nil)
+
+// Adapt runs steps (1)-(4) of Figure 6: determine the re-optimization
+// scope, re-optimize resources, decide on adaptation, and (notionally)
+// migrate. The returned decision carries the new configuration and the
+// charged overheads; the interpreter performs the state flush.
+func (a *Adapter) Adapt(ctx *rt.AdaptContext) *rt.AdaptDecision {
+	if ctx.Compiler == nil {
+		return nil
+	}
+	start := time.Now()
+	scopeBlocks := scope(ctx)
+	scopeProg, err := ctx.Compiler.RebuildScope(scopeBlocks, ctx.Meta)
+	if err != nil || scopeProg.NumLeaf == 0 {
+		return nil
+	}
+	opts := a.Opt
+	if a.LoadProvider != nil {
+		opts.ClusterLoad = a.LoadProvider()
+	}
+	o := &opt.Optimizer{CC: a.CC, Opts: opts}
+	global, local := o.OptimizeWithCurrent(scopeProg, ctx.Res.CP)
+	a.Stats.Reoptimizations++
+	a.Stats.OptTime += time.Since(start)
+	if global == nil || local == nil {
+		return nil
+	}
+
+	dec := &rt.AdaptDecision{ExtraTime: time.Since(start).Seconds()}
+	// Migration costs: export of dirty live variables plus the latency of
+	// obtaining a new container (paper §4.2).
+	migCost := a.PM.WriteTime(ctx.DirtyBytes, 1) + a.PM.ContainerAllocLatency
+	benefit := local.Cost - global.Cost // ΔC >= 0
+
+	// Growing the CP requires migration; shrinking or MR-only changes are
+	// free ("adjusting the memory configuration of stateless jobs or
+	// reducing the CP AM memory are trivial").
+	needsMigration := global.Res.CP > ctx.Res.CP
+	if needsMigration && benefit > migCost*a.MinBenefit {
+		dec.Migrate = true
+		dec.ExtraTime += migCost
+		dec.NewRes = mapScopeResources(ctx, scopeProg, global.Res)
+		a.Stats.Migrations++
+		a.Stats.MigrationTime += migCost
+		a.migrateContainer(dec.NewRes.CP)
+		return dec
+	}
+	// Otherwise continue in the current container with the locally optimal
+	// configuration (always update MR resources).
+	if !needsMigration && global.Res.CP != ctx.Res.CP {
+		// CP shrink (or equal): adopt the global optimum without cost.
+		dec.NewRes = mapScopeResources(ctx, scopeProg, global.Res)
+		return dec
+	}
+	dec.NewRes = mapScopeResources(ctx, scopeProg, local.Res)
+	return dec
+}
+
+// migrateContainer performs the AM process chaining against the RM when
+// one is attached: the new container is allocated while the old one stays
+// alive until program completion.
+func (a *Adapter) migrateContainer(cp conf.Bytes) {
+	a.Stats.ChainLength++
+	if a.RM == nil {
+		return
+	}
+	if c, err := a.RM.Allocate(a.CC.ContainerSize(cp)); err == nil {
+		a.chain = append(a.chain, c)
+	}
+}
+
+// Release rolls in the AM process chain in reverse order (program end).
+func (a *Adapter) Release() {
+	for i := len(a.chain) - 1; i >= 0; i-- {
+		_ = a.RM.Release(a.chain[i].ID)
+	}
+	a.chain = nil
+}
+
+// scope determines the re-optimization scope: from the current position
+// expanded to the outermost enclosing loop of the current call context,
+// through the end of the top-level block list (paper §4.2's heuristic —
+// covering iterative scripts prevents repeated migrations).
+func scope(ctx *rt.AdaptContext) []*hop.Block {
+	hopProg := ctx.Plan.HopProgram
+	// Anchor: the outermost enclosing loop's hop block, else the current
+	// block's hop block.
+	anchor := ctx.Block.HopBlock
+	for _, enc := range ctx.Enclosing {
+		if enc.Kind == dml.WhileBlockKind || enc.Kind == dml.ForBlockKind {
+			anchor = enc.HopBlock
+			break // outermost first
+		}
+	}
+	// Find the top-level block containing the anchor and take everything
+	// from there to the end.
+	for i, top := range hopProg.Blocks {
+		if containsBlock(top, anchor) {
+			return hopProg.Blocks[i:]
+		}
+	}
+	return hopProg.Blocks
+}
+
+func containsBlock(root, target *hop.Block) bool {
+	found := false
+	hop.WalkBlocks([]*hop.Block{root}, func(b *hop.Block) {
+		if b == target {
+			found = true
+		}
+	})
+	return found
+}
+
+// mapScopeResources lifts a scope-program resource vector back onto the
+// full program's block indexing: scope leaves are matched to original
+// leaves by source position; unmatched original blocks keep their current
+// assignment.
+func mapScopeResources(ctx *rt.AdaptContext, scopeProg *hop.Program, res conf.Resources) conf.Resources {
+	out := ctx.Res.Clone()
+	out.CP = res.CP
+	if len(out.MR) < ctx.Plan.HopProgram.NumLeaf {
+		grown := conf.NewResources(out.CP, ctx.Res.MRFor(0), ctx.Plan.HopProgram.NumLeaf)
+		copy(grown.MR, out.MR)
+		out = grown
+	}
+	// Index original leaves by first source line.
+	origByLine := map[int]int{}
+	for _, lb := range ctx.Plan.HopProgram.LeafBlocks() {
+		origByLine[lb.FirstLine] = lb.Index
+	}
+	for _, sb := range scopeProg.LeafBlocks() {
+		if oi, ok := origByLine[sb.FirstLine]; ok && oi < len(out.MR) {
+			out.MR[oi] = res.MRFor(sb.Index)
+		}
+	}
+	return out
+}

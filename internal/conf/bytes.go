@@ -1,0 +1,54 @@
+// Package conf defines the shared configuration vocabulary of the system:
+// byte sizes, cluster configurations, and resource vectors as used by the
+// resource optimizer (paper §2.3).
+package conf
+
+import "fmt"
+
+// Bytes is a memory size in bytes. All memory budgets, container requests
+// and data sizes in the system are expressed in Bytes.
+type Bytes int64
+
+// Common byte-size units.
+const (
+	KB Bytes = 1 << 10
+	MB Bytes = 1 << 20
+	GB Bytes = 1 << 30
+	TB Bytes = 1 << 40
+)
+
+// String renders the size with a binary-unit suffix, e.g. "4.4GB".
+func (b Bytes) String() string {
+	switch {
+	case b >= TB:
+		return trimUnit(float64(b)/float64(TB), "TB")
+	case b >= GB:
+		return trimUnit(float64(b)/float64(GB), "GB")
+	case b >= MB:
+		return trimUnit(float64(b)/float64(MB), "MB")
+	case b >= KB:
+		return trimUnit(float64(b)/float64(KB), "KB")
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+func trimUnit(v float64, unit string) string {
+	s := fmt.Sprintf("%.1f", v)
+	if s[len(s)-2:] == ".0" {
+		s = s[:len(s)-2]
+	}
+	return s + unit
+}
+
+// MBytes returns the size in (floating point) megabytes.
+func (b Bytes) MBytes() float64 { return float64(b) / float64(MB) }
+
+// GBytes returns the size in (floating point) gigabytes.
+func (b Bytes) GBytes() float64 { return float64(b) / float64(GB) }
+
+// BytesOfGB builds a Bytes value from a fractional number of gigabytes.
+func BytesOfGB(gb float64) Bytes { return Bytes(gb * float64(GB)) }
+
+// BytesOfMB builds a Bytes value from a fractional number of megabytes.
+func BytesOfMB(mb float64) Bytes { return Bytes(mb * float64(MB)) }

@@ -1,0 +1,111 @@
+package conf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Resources is a resource configuration R_P = (r_c, r_1, ..., r_n) for an ML
+// program with n program blocks (paper Definition 1): the control program's
+// max heap size plus one MR task max heap size per program block.
+type Resources struct {
+	// CP is the control program (master process) max heap size r_c.
+	CP Bytes
+	// MR holds the MR task max heap size r_i for each program block B_i.
+	// Blocks whose operations all run in CP still carry an (irrelevant)
+	// entry so indices align with the block list.
+	MR []Bytes
+	// CPCores is the control program's core count (0 or 1 = the paper's
+	// single-threaded CP runtime). Enumerating it adds the additional
+	// resource dimension sketched in §6: multi-threaded CP operations
+	// compute faster but inflate memory requirements, and YARN's
+	// DefaultResourceCalculator ignores cores for scheduling.
+	CPCores int
+}
+
+// NewResources builds a resource vector with a uniform MR task size across
+// n program blocks.
+func NewResources(cp Bytes, mr Bytes, n int) Resources {
+	r := Resources{CP: cp, MR: make([]Bytes, n)}
+	for i := range r.MR {
+		r.MR[i] = mr
+	}
+	return r
+}
+
+// Clone returns a deep copy of the resource vector.
+func (r Resources) Clone() Resources {
+	c := Resources{CP: r.CP, MR: make([]Bytes, len(r.MR)), CPCores: r.CPCores}
+	copy(c.MR, r.MR)
+	return c
+}
+
+// Cores returns the effective CP core count (at least 1).
+func (r Resources) Cores() int {
+	if r.CPCores < 1 {
+		return 1
+	}
+	return r.CPCores
+}
+
+// MRFor returns the MR task heap for block i, falling back to the first
+// entry (or CP) when the vector is shorter than the block list. This makes
+// uniform vectors usable against programs of any size.
+func (r Resources) MRFor(i int) Bytes {
+	if i >= 0 && i < len(r.MR) {
+		return r.MR[i]
+	}
+	if len(r.MR) > 0 {
+		return r.MR[0]
+	}
+	return r.CP
+}
+
+// MaxMR returns the largest MR task heap in the vector (0 if none).
+func (r Resources) MaxMR() Bytes {
+	var m Bytes
+	for _, v := range r.MR {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// String renders the configuration as "CP/maxMR", e.g. "8GB/2GB",
+// matching the presentation of Table 2 in the paper.
+func (r Resources) String() string {
+	return fmt.Sprintf("%v/%v", r.CP, r.MaxMR())
+}
+
+// Detailed renders the full vector including per-block MR sizes.
+func (r Resources) Detailed() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cp=%v mr=[", r.CP)
+	for i, v := range r.MR {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// WeightedSum is the time-weighted sum of used resources used to compare
+// resource vectors of equal cost (paper §2.3): the configuration holding
+// fewer byte-seconds is "smaller", preventing over-provisioning. Weights are
+// the estimated occupancy seconds per component; the CP container is held
+// for the whole program, MR task containers only while their block's jobs
+// run.
+func (r Resources) WeightedSum(cc Cluster, cpSeconds float64, mrSeconds []float64) float64 {
+	sum := float64(cc.ContainerSize(r.CP)) * cpSeconds
+	for i, v := range r.MR {
+		w := 1.0
+		if i < len(mrSeconds) {
+			w = mrSeconds[i]
+		}
+		sum += float64(cc.ContainerSize(v)) * w
+	}
+	return sum
+}

@@ -1,0 +1,331 @@
+package cost
+
+import (
+	"fmt"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/dml"
+	"elasticml/internal/hop"
+	"elasticml/internal/lop"
+	"elasticml/internal/mr"
+	"elasticml/internal/perf"
+)
+
+// Estimator computes time estimates C(P, R_P, cc) for runtime plans.
+type Estimator struct {
+	PM perf.Model
+	CC conf.Cluster
+	// DefaultIters is the constant trip count assumed for loops with
+	// unknown iteration counts ("a constant which at least reflects that
+	// the body is executed multiple times", paper §3.1).
+	DefaultIters int64
+	// EvictionWeight scales the IO charged for buffer-pool evictions. The
+	// execution simulator uses 1.0 (full cost); the optimizer's cost model
+	// uses a partial weight — the paper notes evictions are "only
+	// partially considered by our cost model", a documented source of
+	// slight suboptimality on sparse data.
+	EvictionWeight float64
+	// AvailableFraction models cluster load for utilization-based
+	// adaptation (§6): the fraction of worker nodes effectively available
+	// to this application's MR jobs. 0 (zero value) and 1 both mean an
+	// idle cluster.
+	AvailableFraction float64
+	// Invocations counts cost-model calls for the optimization-overhead
+	// statistics (Table 3).
+	Invocations int
+}
+
+// effectiveCluster shrinks the node count by the available fraction.
+func (e *Estimator) effectiveCluster() conf.Cluster {
+	cc := e.CC
+	if e.AvailableFraction > 0 && e.AvailableFraction < 1 {
+		n := int(float64(cc.Nodes) * e.AvailableFraction)
+		if n < 1 {
+			n = 1
+		}
+		cc.Nodes = n
+	}
+	return cc
+}
+
+// NewEstimator returns an estimator with the default performance model.
+func NewEstimator(cc conf.Cluster) *Estimator {
+	// DefaultIters matches the evaluation workloads' convergence caps
+	// (maxi=5); the paper uses "a constant which at least reflects that
+	// the body is executed multiple times".
+	return &Estimator{PM: perf.Default(), CC: cc, DefaultIters: 5, EvictionWeight: PartialEvictionWeight}
+}
+
+// PartialEvictionWeight is the optimizer cost model's under-accounting of
+// eviction IO (full weight is 1.0).
+const PartialEvictionWeight = 0.5
+
+// ProgramCost estimates the end-to-end execution time of a plan.
+func (e *Estimator) ProgramCost(p *lop.Plan) float64 {
+	e.Invocations++
+	state := e.newState(p.Resources)
+	return e.blocks(p.Blocks, p.Resources, state, p.Resources.Cores())
+}
+
+// BlockCost estimates the cost of a single block under the given resource
+// vector with a cold variable state (used by the per-block memoization of
+// the enumeration algorithm).
+func (e *Estimator) BlockCost(b *lop.Block, res conf.Resources) float64 {
+	e.Invocations++
+	state := e.newState(res)
+	return e.block(b, res, state, res.Cores())
+}
+
+func (e *Estimator) newState(res conf.Resources) *VarState {
+	if e.EvictionWeight <= 0 {
+		return NewVarState(0)
+	}
+	return NewVarState(e.CC.OpBudget(res.CP))
+}
+
+func (e *Estimator) blocks(blocks []*lop.Block, res conf.Resources, state *VarState, cpCores int) float64 {
+	var t float64
+	for _, b := range blocks {
+		t += e.block(b, res, state, cpCores)
+	}
+	return t
+}
+
+func (e *Estimator) block(b *lop.Block, res conf.Resources, state *VarState, cpCores int) float64 {
+	switch b.Kind {
+	case dml.GenericBlock:
+		return e.generic(b, res, state, cpCores)
+	case dml.IfBlockKind:
+		// Weighted sum of branch aggregates.
+		thenState := state.Clone()
+		tThen := e.blocks(b.Then, res, thenState, cpCores)
+		tElse := e.blocks(b.Else, res, state.Clone(), cpCores)
+		// Continue with the then-branch state (conservative single path).
+		*state = *thenState
+		return 0.5*tThen + 0.5*tElse
+	default: // while / for
+		iters := b.KnownIters
+		if iters == hop.Unknown || iters <= 0 {
+			iters = e.DefaultIters
+		}
+		bodyCores := cpCores
+		dop := 1
+		if b.Parallel {
+			// parfor: iterations run on concurrent single-threaded
+			// workers; wall time divides by the worker count (extended
+			// cost estimation for task-parallel programs, §8).
+			dop = cpCores
+			if int64(dop) > iters {
+				dop = int(iters)
+			}
+			if dop < 1 {
+				dop = 1
+			}
+			bodyCores = 1
+		}
+		// First iteration warms the buffer pool (inputs read once); the
+		// remaining iterations run against the steady state.
+		first := e.blocks(b.Body, res, state, bodyCores)
+		total := first
+		if iters > 1 {
+			steady := e.blocks(b.Body, res, state, bodyCores)
+			total = first + float64(iters-1)*steady
+		}
+		return total / float64(dop)
+	}
+}
+
+// generic charges the instruction sequence of a generic block.
+func (e *Estimator) generic(b *lop.Block, res conf.Resources, state *VarState, cpCores int) float64 {
+	evict0 := state.evictIO
+	uses := BlockUses(b)
+	inJob := map[int64]*lop.MRJob{}
+	for _, in := range b.Instrs {
+		if in.Kind == lop.InstrMR {
+			for _, op := range in.Job.Ops {
+				inJob[op.Hop.ID] = in.Job
+			}
+		}
+	}
+	var t float64
+	for _, in := range b.Instrs {
+		if in.Kind == lop.InstrCP {
+			t += e.CPInstrTime(in.Hop, state, inJob, cpCores)
+		} else {
+			t += e.MRJobTime(in.Job, b, res, state, uses, inJob)
+		}
+	}
+	if e.EvictionWeight > 0 {
+		// Evicted dirty pages are written out and re-read on next use; the
+		// re-read is already charged by EnsureInMemory, the write here.
+		t += e.PM.WriteTime(state.evictIO-evict0, 1) * e.PM.EvictionPenalty * e.EvictionWeight
+	}
+	return t
+}
+
+// CPInstrTime charges one in-memory operation: read IO for inputs not yet
+// CP-resident, single-threaded compute, and write IO for persistent writes.
+// It is exported for reuse by the execution simulator, which interleaves
+// charging with actual interpretation.
+func (e *Estimator) CPInstrTime(h *hop.Hop, state *VarState, inJob map[int64]*lop.MRJob, cores int) float64 {
+	// Transient writes are logical bindings: no IO, no compute. Reads stay
+	// lazy — the first operation that actually consumes the data pays.
+	if h.Kind == hop.KindTWrite {
+		src := h.Inputs[0]
+		if src.DataType == hop.Matrix {
+			if inJob[src.ID] != nil {
+				state.PutOnHDFS("$"+h.Name, trackedSize(src))
+			} else if key, ok := keyOf(src); ok {
+				state.Alias("$"+h.Name, key, trackedSize(src))
+			} else {
+				// CP-computed intermediate: dirty in-memory value.
+				state.PutInMemory("$"+h.Name, trackedSize(src))
+			}
+		}
+		return 0
+	}
+	var t float64
+	for _, inp := range h.Inputs {
+		if inp == nil || inp.DataType != hop.Matrix {
+			continue
+		}
+		key, tracked := keyOf(inp)
+		if !tracked {
+			if inJob[inp.ID] != nil {
+				key = jobOutKey(inp)
+			} else {
+				continue // CP intermediate, already in memory
+			}
+		}
+		readBytes := state.EnsureInMemory(key, trackedSize(inp))
+		t += e.PM.ReadTime(readBytes, 1)
+	}
+	t += e.PM.ComputeTime(Flops(h), cores)
+	if h.Kind == hop.KindWrite {
+		src := h.Inputs[0]
+		if src.DataType == hop.Matrix && inJob[src.ID] == nil {
+			// Values already HDFS-resident are renamed, not rewritten.
+			key, tracked := keyOf(src)
+			if !tracked || state.InMemory(key) {
+				t += e.PM.WriteTime(trackedSize(src), 1)
+			}
+		}
+	}
+	return t
+}
+
+// MRJobTime assembles the job specification and charges the MR phase model.
+func (e *Estimator) MRJobTime(job *lop.MRJob, b *lop.Block, res conf.Resources,
+	state *VarState, uses map[int64][]*hop.Hop, inJob map[int64]*lop.MRJob) float64 {
+	spec := mr.JobSpec{Name: job.Name(), NumReducers: 0}
+	taskHeap := res.MRFor(b.Index)
+
+	// Scanned inputs: export dirty CP variables, then stream from HDFS.
+	maxSplits := 1
+	for _, si := range job.ScanInputs {
+		key, tracked := keyOf(si)
+		if !tracked {
+			if inJob[si.ID] != nil && inJob[si.ID] != job {
+				key = jobOutKey(si)
+			} else {
+				continue
+			}
+		}
+		size := state.Size(key, trackedSize(si))
+		spec.ExportInput += state.ExportBytes(key, size)
+		spec.MapInput += size
+		if n := splitsOf(size, e.CC.HDFSBlockSize); n > maxSplits {
+			maxSplits = n
+		}
+	}
+	spec.NumMaps = maxSplits
+
+	shuffles := false
+	for _, op := range job.Ops {
+		f := Flops(op.Hop)
+		for _, bc := range op.Broadcast {
+			spec.BroadcastInput += trackedSize(bc)
+		}
+		if op.Shuffles {
+			shuffles = true
+			spec.ReduceFlops += f
+			for _, inp := range op.Hop.Inputs {
+				if inp != nil && inp.DataType == hop.Matrix {
+					spec.ShuffleBytes += trackedSize(inp)
+				}
+			}
+		} else {
+			spec.MapFlops += f
+		}
+		// Outputs consumed outside this job are materialized on HDFS.
+		if consumedOutside(op.Hop, job, uses, inJob) {
+			out := trackedSize(op.Hop)
+			if op.Shuffles {
+				spec.ReduceOutput += out
+			} else {
+				spec.MapOutput += out
+			}
+			state.PutOnHDFS(jobOutKey(op.Hop), out)
+		}
+	}
+	if shuffles {
+		spec.NumReducers = e.CC.Reducers
+	}
+	bd := mr.EstimateTime(e.PM, e.effectiveCluster(), spec, taskHeap, res.CP)
+	return bd.Total()
+}
+
+func jobOutKey(h *hop.Hop) string { return fmt.Sprintf("#%d", h.ID) }
+
+// trackedSize returns the size used for state tracking and IO charging:
+// unknown (worst-case infinite) estimates are clamped to a nominal size so
+// a single unknown intermediate cannot dominate the program cost (blocks of
+// unknowns are pruned from enumeration anyway, §3.4).
+func trackedSize(h *hop.Hop) conf.Bytes {
+	if hop.InfiniteMem(h.OutMem) {
+		return conf.Bytes(unknownCells * 8)
+	}
+	return h.OutMem
+}
+
+func splitsOf(size, blockSize conf.Bytes) int {
+	if blockSize <= 0 {
+		return 1
+	}
+	n := int((size + blockSize - 1) / blockSize)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// BlockUses maps each hop to its consumers within the block DAG.
+func BlockUses(b *lop.Block) map[int64][]*hop.Hop {
+	uses := map[int64][]*hop.Hop{}
+	if b.HopBlock == nil {
+		return uses
+	}
+	hop.WalkDAG(b.HopBlock.Roots, func(h *hop.Hop) {
+		for _, in := range h.Inputs {
+			if in != nil {
+				uses[in.ID] = append(uses[in.ID], h)
+			}
+		}
+	})
+	return uses
+}
+
+// consumedOutside reports whether a job-internal hop's output is needed by
+// instructions outside the job (CP consumers, other jobs, or roots).
+func consumedOutside(h *hop.Hop, job *lop.MRJob, uses map[int64][]*hop.Hop, inJob map[int64]*lop.MRJob) bool {
+	consumers := uses[h.ID]
+	if len(consumers) == 0 {
+		return true // DAG root output
+	}
+	for _, c := range consumers {
+		if inJob[c.ID] != job {
+			return true
+		}
+	}
+	return false
+}

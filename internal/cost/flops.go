@@ -1,0 +1,86 @@
+// Package cost implements the white-box analytic cost model of the
+// resource optimizer (paper §3.1): runtime plans are scanned in execution
+// order, sizes and states of live variables are tracked, CP instructions
+// are charged IO plus compute time, MR-job instructions are charged the
+// full phase model, and times are aggregated along the program structure
+// (weighted branches, scaled loops).
+package cost
+
+import (
+	"elasticml/internal/hop"
+)
+
+// unknownCells is the nominal cell count charged for operations whose
+// dimensions are unknown at compile time; blocks consisting solely of such
+// operations are pruned by the optimizer anyway (paper §3.4).
+const unknownCells = 1e6
+
+// Flops estimates the floating-point work of one hop.
+func Flops(h *hop.Hop) float64 {
+	switch h.Kind {
+	case hop.KindMatMul:
+		a, b := h.Inputs[0], h.Inputs[1]
+		m, k := dim(a.Rows), dim(a.Cols)
+		if h.TransA {
+			m, k = k, m
+		}
+		n := dim(b.Cols)
+		f := 2 * m * k * n * sp(a) * sp(b)
+		// Transpose-self multiplications compute only one triangle.
+		if h.TransA && a == b {
+			f /= 2
+		}
+		return f
+	case hop.KindSolve:
+		a, b := h.Inputs[0], h.Inputs[1]
+		n, rhs := dim(a.Rows), dim(b.Cols)
+		return (2.0/3.0)*n*n*n + 2*n*n*rhs
+	case hop.KindTernaryAgg:
+		return 3 * cells(h.Inputs[0])
+	case hop.KindAggUnary:
+		c := cells(h.Inputs[0])
+		if h.Op == "sumsq" {
+			return 2 * c
+		}
+		return c
+	case hop.KindUnary, hop.KindBinary, hop.KindReorg, hop.KindAppend,
+		hop.KindDataGen, hop.KindLeftIndex, hop.KindCast, hop.KindDiag:
+		return cells(h)
+	case hop.KindIndex:
+		return cells(h)
+	case hop.KindTable:
+		return dim(h.Inputs[0].Rows)
+	case hop.KindSeq:
+		return dim(h.Rows)
+	default:
+		return 0
+	}
+}
+
+func dim(d int64) float64 {
+	if d == hop.Unknown {
+		return 1000 // nominal extent for unknowns
+	}
+	return float64(d)
+}
+
+func cells(h *hop.Hop) float64 {
+	if h == nil {
+		return 0
+	}
+	if h.DataType != hop.Matrix {
+		return 1
+	}
+	if !h.DimsKnown() {
+		return unknownCells
+	}
+	return float64(h.Rows) * float64(h.Cols) * sp(h)
+}
+
+func sp(h *hop.Hop) float64 {
+	s := h.Sparsity()
+	if s <= 0 {
+		return 1e-6
+	}
+	return s
+}

@@ -1,0 +1,184 @@
+package dml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a DML expression node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Num is a numeric literal.
+type Num struct{ Value float64 }
+
+// Str is a string literal.
+type Str struct{ Value string }
+
+// Bool is TRUE or FALSE.
+type Bool struct{ Value bool }
+
+// Ident references a variable.
+type Ident struct{ Name string }
+
+// Param references a command-line parameter ($name).
+type Param struct{ Name string }
+
+// BinOp is a binary expression; Op is the surface operator ("+", "%*%",
+// "<=", "&", ...).
+type BinOp struct {
+	Op          string
+	Left, Right Expr
+}
+
+// UnOp is a unary expression ("-" or "!").
+type UnOp struct {
+	Op string
+	X  Expr
+}
+
+// Call is a builtin or user function call. Named arguments (rows=n) are
+// kept separately from positional ones.
+type Call struct {
+	Name  string
+	Args  []Expr
+	Named map[string]Expr
+}
+
+// IndexRange is one dimension of a right-indexing expression; nil bounds
+// mean "all". Lo==Hi for single-element selection.
+type IndexRange struct {
+	Lo, Hi Expr // 1-based inclusive; Hi nil means single index Lo
+}
+
+// Index is a right-indexing expression X[rows, cols].
+type Index struct {
+	Target   Expr
+	Row, Col *IndexRange // nil means all rows/cols
+}
+
+func (*Num) exprNode()   {}
+func (*Str) exprNode()   {}
+func (*Bool) exprNode()  {}
+func (*Ident) exprNode() {}
+func (*Param) exprNode() {}
+func (*BinOp) exprNode() {}
+func (*UnOp) exprNode()  {}
+func (*Call) exprNode()  {}
+func (*Index) exprNode() {}
+
+func (e *Num) String() string   { return fmt.Sprintf("%g", e.Value) }
+func (e *Str) String() string   { return fmt.Sprintf("%q", e.Value) }
+func (e *Bool) String() string  { return strings.ToUpper(fmt.Sprintf("%t", e.Value)) }
+func (e *Ident) String() string { return e.Name }
+func (e *Param) String() string { return "$" + e.Name }
+func (e *BinOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
+}
+func (e *UnOp) String() string {
+	if e.Op == "!" {
+		// '!' has low precedence at expression level; parenthesize so the
+		// printed form is unambiguous in operand position.
+		return fmt.Sprintf("(!%s)", e.X)
+	}
+	return fmt.Sprintf("%s%s", e.Op, e.X)
+}
+func (e *Call) String() string {
+	var parts []string
+	for _, a := range e.Args {
+		parts = append(parts, a.String())
+	}
+	for k, v := range e.Named {
+		parts = append(parts, k+"="+v.String())
+	}
+	return e.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+func (e *Index) String() string {
+	fr := func(r *IndexRange) string {
+		if r == nil {
+			return ""
+		}
+		if r.Hi == nil {
+			return r.Lo.String()
+		}
+		return r.Lo.String() + ":" + r.Hi.String()
+	}
+	return fmt.Sprintf("%s[%s,%s]", e.Target, fr(e.Row), fr(e.Col))
+}
+
+// Stmt is a DML statement node.
+type Stmt interface {
+	stmtNode()
+	// Line is the 1-based source line of the statement.
+	Line() int
+}
+
+// Assign is "target = expr" with optional left indexing target[r, c].
+type Assign struct {
+	Target  string
+	LIndex  *Index // non-nil for left indexing; Target duplicated inside
+	Expr    Expr
+	SrcLine int
+}
+
+// ExprStmt is a bare call used for side effects (print, write).
+type ExprStmt struct {
+	Call    *Call
+	SrcLine int
+}
+
+// If is a conditional with optional else branch.
+type If struct {
+	Cond       Expr
+	Then, Else []Stmt
+	SrcLine    int
+}
+
+// While is a predicated loop.
+type While struct {
+	Cond    Expr
+	Body    []Stmt
+	SrcLine int
+}
+
+// For is "for (v in from:to) { ... }"; Parallel marks parfor loops whose
+// iterations are declared independent and may execute concurrently
+// (task-parallel ML programs, the paper's future work and reference [6]).
+type For struct {
+	Var      string
+	From, To Expr
+	Body     []Stmt
+	Parallel bool
+	SrcLine  int
+}
+
+func (*Assign) stmtNode()   {}
+func (*ExprStmt) stmtNode() {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+
+func (s *Assign) Line() int   { return s.SrcLine }
+func (s *ExprStmt) Line() int { return s.SrcLine }
+func (s *If) Line() int       { return s.SrcLine }
+func (s *While) Line() int    { return s.SrcLine }
+func (s *For) Line() int      { return s.SrcLine }
+
+// Function is a user-defined DML function.
+type Function struct {
+	Name    string
+	Params  []string
+	Returns []string
+	Body    []Stmt
+	SrcLine int
+}
+
+// Program is a parsed DML script.
+type Program struct {
+	Stmts []Stmt
+	Funcs map[string]*Function
+	// Lines is the number of source lines, reported in Table 1.
+	Lines int
+}

@@ -1,0 +1,178 @@
+package dml
+
+import "fmt"
+
+// InlineFunctions expands user-defined function calls into the main
+// statement list: parameter bindings, the renamed function body, and the
+// result assignment are spliced at the call site. DML functions see only
+// their parameters, so renaming every identifier in the body with a unique
+// prefix preserves semantics. A function call must be the entire right-hand
+// side of an assignment (the form used in practice).
+func InlineFunctions(prog *Program) ([]Stmt, error) {
+	in := &inliner{funcs: prog.Funcs, maxDepth: 16}
+	return in.stmts(prog.Stmts, 0)
+}
+
+type inliner struct {
+	funcs    map[string]*Function
+	counter  int
+	maxDepth int
+}
+
+func (in *inliner) stmts(list []Stmt, depth int) ([]Stmt, error) {
+	if depth > in.maxDepth {
+		return nil, fmt.Errorf("dml: function inlining exceeded depth %d (recursion?)", in.maxDepth)
+	}
+	var out []Stmt
+	for _, s := range list {
+		switch st := s.(type) {
+		case *Assign:
+			if call, ok := st.Expr.(*Call); ok {
+				if fn, isUser := in.funcs[call.Name]; isUser {
+					expanded, err := in.expand(fn, call, []string{st.Target}, st.SrcLine, depth)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, expanded...)
+					continue
+				}
+			}
+			out = append(out, st)
+		case *ExprStmt:
+			if fn, isUser := in.funcs[st.Call.Name]; isUser {
+				expanded, err := in.expand(fn, st.Call, nil, st.SrcLine, depth)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, expanded...)
+				continue
+			}
+			out = append(out, st)
+		case *If:
+			thenB, err := in.stmts(st.Then, depth)
+			if err != nil {
+				return nil, err
+			}
+			elseB, err := in.stmts(st.Else, depth)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &If{Cond: st.Cond, Then: thenB, Else: elseB, SrcLine: st.SrcLine})
+		case *While:
+			body, err := in.stmts(st.Body, depth)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &While{Cond: st.Cond, Body: body, SrcLine: st.SrcLine})
+		case *For:
+			body, err := in.stmts(st.Body, depth)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &For{Var: st.Var, From: st.From, To: st.To, Body: body,
+				Parallel: st.Parallel, SrcLine: st.SrcLine})
+		default:
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+func (in *inliner) expand(fn *Function, call *Call, targets []string, line int, depth int) ([]Stmt, error) {
+	if len(call.Args) != len(fn.Params) {
+		return nil, fmt.Errorf("dml: line %d: %s expects %d arguments, got %d",
+			line, fn.Name, len(fn.Params), len(call.Args))
+	}
+	if len(targets) > len(fn.Returns) {
+		return nil, fmt.Errorf("dml: line %d: %s returns %d values, %d requested",
+			line, fn.Name, len(fn.Returns), len(targets))
+	}
+	in.counter++
+	prefix := fmt.Sprintf("_%s%d_", fn.Name, in.counter)
+	rename := func(name string) string { return prefix + name }
+
+	var out []Stmt
+	for i, pname := range fn.Params {
+		out = append(out, &Assign{Target: rename(pname), Expr: call.Args[i], SrcLine: line})
+	}
+	body := renameStmts(fn.Body, rename)
+	body, err := in.stmts(body, depth+1) // inline nested calls
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, body...)
+	for i, tgt := range targets {
+		out = append(out, &Assign{Target: tgt, Expr: &Ident{Name: rename(fn.Returns[i])}, SrcLine: line})
+	}
+	return out, nil
+}
+
+func renameStmts(list []Stmt, rn func(string) string) []Stmt {
+	out := make([]Stmt, 0, len(list))
+	for _, s := range list {
+		switch st := s.(type) {
+		case *Assign:
+			a := &Assign{Target: rn(st.Target), Expr: renameExpr(st.Expr, rn), SrcLine: st.SrcLine}
+			if st.LIndex != nil {
+				a.LIndex = renameExpr(st.LIndex, rn).(*Index)
+			}
+			out = append(out, a)
+		case *ExprStmt:
+			out = append(out, &ExprStmt{Call: renameExpr(st.Call, rn).(*Call), SrcLine: st.SrcLine})
+		case *If:
+			out = append(out, &If{Cond: renameExpr(st.Cond, rn),
+				Then: renameStmts(st.Then, rn), Else: renameStmts(st.Else, rn), SrcLine: st.SrcLine})
+		case *While:
+			out = append(out, &While{Cond: renameExpr(st.Cond, rn),
+				Body: renameStmts(st.Body, rn), SrcLine: st.SrcLine})
+		case *For:
+			out = append(out, &For{Var: rn(st.Var), From: renameExpr(st.From, rn),
+				To: renameExpr(st.To, rn), Body: renameStmts(st.Body, rn),
+				Parallel: st.Parallel, SrcLine: st.SrcLine})
+		}
+	}
+	return out
+}
+
+func renameExpr(e Expr, rn func(string) string) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		return &Ident{Name: rn(e.Name)}
+	case *BinOp:
+		return &BinOp{Op: e.Op, Left: renameExpr(e.Left, rn), Right: renameExpr(e.Right, rn)}
+	case *UnOp:
+		return &UnOp{Op: e.Op, X: renameExpr(e.X, rn)}
+	case *Call:
+		c := &Call{Name: e.Name}
+		for _, a := range e.Args {
+			c.Args = append(c.Args, renameExpr(a, rn))
+		}
+		if e.Named != nil {
+			c.Named = make(map[string]Expr, len(e.Named))
+			for k, v := range e.Named {
+				c.Named[k] = renameExpr(v, rn)
+			}
+		}
+		return c
+	case *Index:
+		idx := &Index{Target: renameExpr(e.Target, rn)}
+		idx.Row = renameRange(e.Row, rn)
+		idx.Col = renameRange(e.Col, rn)
+		return idx
+	default:
+		return e // literals and params are immutable
+	}
+}
+
+func renameRange(r *IndexRange, rn func(string) string) *IndexRange {
+	if r == nil {
+		return nil
+	}
+	nr := &IndexRange{Lo: renameExpr(r.Lo, rn)}
+	if r.Hi != nil {
+		nr.Hi = renameExpr(r.Hi, rn)
+	}
+	return nr
+}

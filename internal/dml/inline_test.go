@@ -1,0 +1,187 @@
+package dml
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInlineSimpleFunction(t *testing.T) {
+	src := `
+scale = function(M, f) return (R) {
+  R = M * f;
+}
+A = read($A);
+B = scale(A, 2);
+write(B, "/out/B");
+`
+	prog := mustParse(t, src)
+	stmts, err := InlineFunctions(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expanded: A=read, param binds (2), body (1), result assign (1), write.
+	if len(stmts) != 6 {
+		t.Fatalf("inlined to %d statements, want 6", len(stmts))
+	}
+	// All function-local names are renamed.
+	for _, s := range stmts[1:4] {
+		as, ok := s.(*Assign)
+		if !ok {
+			t.Fatalf("expected assigns, got %T", s)
+		}
+		if !strings.HasPrefix(as.Target, "_scale") {
+			t.Errorf("unrenamed target %q", as.Target)
+		}
+	}
+}
+
+func TestInlineNestedCallsAndControlFlow(t *testing.T) {
+	src := `
+inner = function(x) return (y) {
+  y = x + 1;
+}
+outer = function(x) return (y) {
+  y = 0;
+  for (i in 1:3) {
+    t = inner(x);
+    y = y + t;
+  }
+}
+r = outer(5);
+print(r);
+`
+	prog := mustParse(t, src)
+	stmts, err := InlineFunctions(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The for loop survives inlining with a renamed loop variable.
+	var forStmt *For
+	for _, s := range stmts {
+		if f, ok := s.(*For); ok {
+			forStmt = f
+		}
+	}
+	if forStmt == nil {
+		t.Fatal("for loop lost during inlining")
+	}
+	if !strings.HasPrefix(forStmt.Var, "_outer") {
+		t.Errorf("loop var not renamed: %q", forStmt.Var)
+	}
+	// The nested inner() call was expanded inside the loop body.
+	foundInner := false
+	for _, s := range forStmt.Body {
+		if as, ok := s.(*Assign); ok && strings.Contains(as.Target, "_inner") {
+			foundInner = true
+		}
+	}
+	if !foundInner {
+		t.Error("nested call not inlined inside loop body")
+	}
+}
+
+func TestInlineErrors(t *testing.T) {
+	// Wrong arity.
+	src := `
+f = function(a, b) return (c) { c = a + b; }
+x = f(1);
+`
+	prog := mustParse(t, src)
+	if _, err := InlineFunctions(prog); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	// Recursion exceeds depth.
+	src = `
+f = function(a) return (c) { c = f(a); }
+x = f(1);
+`
+	prog = mustParse(t, src)
+	if _, err := InlineFunctions(prog); err == nil {
+		t.Error("recursion should fail inlining")
+	}
+}
+
+func TestInlineInsideControlStatements(t *testing.T) {
+	src := `
+g = function(a) return (c) { c = a * a; }
+x = 0;
+if (x < 1) {
+  x = g(3);
+} else {
+  while (x > 0) {
+    x = g(x);
+  }
+}
+print(x);
+`
+	prog := mustParse(t, src)
+	stmts, err := InlineFunctions(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifStmt, ok := stmts[1].(*If)
+	if !ok {
+		t.Fatalf("expected If, got %T", stmts[1])
+	}
+	if len(ifStmt.Then) < 3 {
+		t.Errorf("then-branch call not expanded: %d stmts", len(ifStmt.Then))
+	}
+	w, ok := ifStmt.Else[0].(*While)
+	if !ok {
+		t.Fatalf("expected While in else, got %T", ifStmt.Else[0])
+	}
+	if len(w.Body) < 3 {
+		t.Errorf("while-body call not expanded: %d stmts", len(w.Body))
+	}
+}
+
+func TestExprContainsCall(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"Y = table(a, b);", true},
+		{"Y = t(table(a, b));", true},
+		{"Y = a + table(seq(1, n), y);", true},
+		{"Y = M[table(a, b), 1];", true},
+		{"Y = matrix(0, rows=nrow(table(a, b)), cols=1);", true},
+		{"Y = t(a) %*% b;", false},
+		{"Y = M[1, 2];", false},
+	}
+	for _, c := range cases {
+		prog := mustParse(t, c.src)
+		as := prog.Stmts[0].(*Assign)
+		if got := exprContainsCall(as.Expr, "table"); got != c.want {
+			t.Errorf("exprContainsCall(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	prog := mustParse(t, `x = a[1:2, ] + -b * (!c);
+s = "lit";
+p = $param;
+`)
+	got := prog.Stmts[0].(*Assign).Expr.String()
+	if got != "(a[1:2,] + (-b * (!c)))" {
+		t.Errorf("expr string = %q", got)
+	}
+	if s := prog.Stmts[1].(*Assign).Expr.String(); s != `"lit"` {
+		t.Errorf("str literal = %q", s)
+	}
+	if s := prog.Stmts[2].(*Assign).Expr.String(); s != "$param" {
+		t.Errorf("param = %q", s)
+	}
+	for _, k := range []BlockKind{GenericBlock, IfBlockKind, WhileBlockKind, ForBlockKind} {
+		if k.String() == "?" {
+			t.Errorf("BlockKind %d unnamed", k)
+		}
+	}
+	for _, k := range []TokenKind{TokEOF, TokNumber, TokString, TokIdent, TokParam,
+		TokKeyword, TokOp, TokLParen, TokRParen, TokLBrace, TokRBrace,
+		TokLBracket, TokRBracket, TokComma, TokSemicolon} {
+		if k.String() == "?" {
+			t.Errorf("TokenKind %d unnamed", k)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package dml implements the frontend of the declarative ML language: an
+// R-like scripting language with linear algebra, statistical functions and
+// control flow (paper §2.1). Scripts are lexed, parsed into an AST, and
+// grouped into the hierarchy of statement blocks that drives HOP DAG
+// construction and — crucially for the resource optimizer — defines the
+// per-block MR resources r_i of the configuration vector R_P.
+package dml
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokNumber
+	TokString
+	TokIdent
+	TokParam // $name command-line parameter
+	TokKeyword
+	TokOp
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemicolon
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokIdent:
+		return "identifier"
+	case TokParam:
+		return "parameter"
+	case TokKeyword:
+		return "keyword"
+	case TokOp:
+		return "operator"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokLBracket:
+		return "'['"
+	case TokRBracket:
+		return "']'"
+	case TokComma:
+		return "','"
+	case TokSemicolon:
+		return "';'"
+	}
+	return "?"
+}
+
+// Token is one lexical token with its source line (1-based).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s %q (line %d)", t.Kind, t.Text, t.Line)
+}
+
+var keywords = map[string]bool{
+	"if": true, "else": true, "while": true, "for": true, "in": true,
+	"function": true, "return": true, "TRUE": true, "FALSE": true,
+	"parfor": true,
+}

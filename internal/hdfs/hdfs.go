@@ -1,0 +1,188 @@
+// Package hdfs simulates the distributed file system underlying the ML
+// system: named files carrying matrix metadata (dimensions, non-zeros,
+// format), optionally backed by real in-memory payloads (small data) or by
+// metadata-only descriptors (large simulated scenarios). Block size drives
+// the number of input splits and hence map task counts.
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/matrix"
+)
+
+// Format is the on-disk file format.
+type Format int
+
+// File formats. Binary block is the system's native format; text formats
+// incur a parse factor in the IO model.
+const (
+	BinaryBlock Format = iota
+	TextCSV
+)
+
+func (f Format) String() string {
+	if f == TextCSV {
+		return "csv"
+	}
+	return "binary"
+}
+
+// File is a stored matrix: metadata plus an optional real payload.
+type File struct {
+	// Name is the absolute path of the file.
+	Name string
+	// Rows, Cols, NNZ describe the stored matrix.
+	Rows, Cols, NNZ int64
+	// Format is the serialization format.
+	Format Format
+	// Data holds the real payload for value-mode execution; nil for
+	// metadata-only descriptors used by large simulated scenarios.
+	Data *matrix.Matrix
+}
+
+// Sparsity returns nnz/(rows*cols), or 1 for degenerate dimensions.
+func (f *File) Sparsity() float64 {
+	cells := f.Rows * f.Cols
+	if cells <= 0 {
+		return 1
+	}
+	return float64(f.NNZ) / float64(cells)
+}
+
+// SizeOnDisk returns the serialized size of the file. Binary block size
+// equals the in-memory estimate; CSV is approximated at 12 bytes/cell.
+func (f *File) SizeOnDisk() conf.Bytes {
+	if f.Format == TextCSV {
+		return conf.Bytes(f.Rows * f.Cols * 12)
+	}
+	return matrix.EstimateSize(f.Rows, f.Cols, f.Sparsity())
+}
+
+// Splits returns the number of input splits for the given DFS block size,
+// which determines the number of map tasks of jobs reading this file.
+func (f *File) Splits(blockSize conf.Bytes) int {
+	if blockSize <= 0 {
+		return 1
+	}
+	n := int((f.SizeOnDisk() + blockSize - 1) / blockSize)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// FS is an in-memory simulated DFS. It is safe for concurrent use.
+type FS struct {
+	mu    sync.RWMutex
+	files map[string]*File
+
+	// IO accounting for tests and experiment reports.
+	bytesRead    conf.Bytes
+	bytesWritten conf.Bytes
+}
+
+// New returns an empty file system.
+func New() *FS {
+	return &FS{files: make(map[string]*File)}
+}
+
+// PutMatrix stores a real matrix under the given name in binary format.
+func (fs *FS) PutMatrix(name string, m *matrix.Matrix) *File {
+	f := &File{
+		Name:   name,
+		Rows:   int64(m.Rows()),
+		Cols:   int64(m.Cols()),
+		NNZ:    m.NNZ(),
+		Format: BinaryBlock,
+		Data:   m,
+	}
+	fs.put(f)
+	return f
+}
+
+// PutDescriptor stores a metadata-only file (no payload), as used by large
+// simulated scenarios.
+func (fs *FS) PutDescriptor(name string, rows, cols, nnz int64, format Format) *File {
+	f := &File{Name: name, Rows: rows, Cols: cols, NNZ: nnz, Format: format}
+	fs.put(f)
+	return f
+}
+
+func (fs *FS) put(f *File) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[f.Name] = f
+	fs.bytesWritten += f.SizeOnDisk()
+}
+
+// Stat returns the file metadata, or an error if it does not exist.
+func (fs *FS) Stat(name string) (*File, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: file %q does not exist", name)
+	}
+	return f, nil
+}
+
+// Read returns the file and accounts the read bytes.
+func (fs *FS) Read(name string) (*File, error) {
+	f, err := fs.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	fs.bytesRead += f.SizeOnDisk()
+	fs.mu.Unlock()
+	return f, nil
+}
+
+// Delete removes the file; deleting a missing file is an error.
+func (fs *FS) Delete(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("hdfs: delete of missing file %q", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Exists reports whether the file is present.
+func (fs *FS) Exists(name string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// List returns the sorted names of all files.
+func (fs *FS) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BytesRead returns the cumulative bytes read through Read.
+func (fs *FS) BytesRead() conf.Bytes {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.bytesRead
+}
+
+// BytesWritten returns the cumulative bytes written through Put*.
+func (fs *FS) BytesWritten() conf.Bytes {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.bytesWritten
+}

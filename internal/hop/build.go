@@ -1,0 +1,351 @@
+package hop
+
+import (
+	"fmt"
+
+	"elasticml/internal/dml"
+	"elasticml/internal/hdfs"
+)
+
+// VarMeta is the compile-time knowledge about one live variable: matrix
+// dimensions/non-zeros, or a scalar's (possibly known) constant value.
+type VarMeta struct {
+	IsMatrix        bool
+	Rows, Cols, NNZ int64
+	Known           bool // scalar value known at compile time
+	Val             float64
+	IsStr           bool
+	Str             string
+}
+
+// SymTab maps variable names to their compile-time metadata.
+type SymTab map[string]VarMeta
+
+// Clone returns a copy of the symbol table.
+func (s SymTab) Clone() SymTab {
+	c := make(SymTab, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Compiler builds HOP programs. It carries the simulated DFS (for input
+// metadata), the script's $ parameters, and user function definitions.
+type Compiler struct {
+	FS     *hdfs.FS
+	Params map[string]interface{}
+	funcs  map[string]*dml.Function
+	nextID int64
+}
+
+// NewCompiler returns a HOP compiler reading input metadata from fs and
+// substituting the given $ parameters.
+func NewCompiler(fs *hdfs.FS, params map[string]interface{}) *Compiler {
+	return &Compiler{FS: fs, Params: params}
+}
+
+func (c *Compiler) id() int64 {
+	c.nextID++
+	return c.nextID
+}
+
+// Compile builds the HOP program for a parsed script: user functions are
+// inlined, statement blocks constructed, DAGs built with size propagation,
+// constant folding, CSE, algebraic rewrites and branch removal applied, and
+// leaf blocks indexed for the resource vector.
+func (c *Compiler) Compile(prog *dml.Program, source string) (*Program, error) {
+	c.funcs = prog.Funcs
+	stmts, err := dml.InlineFunctions(prog)
+	if err != nil {
+		return nil, err
+	}
+	sblocks := dml.BuildBlocks(stmts)
+	meta := SymTab{}
+	blocks, err := c.buildBlocks(sblocks, meta)
+	if err != nil {
+		return nil, err
+	}
+	pruneDeadWrites(blocks)
+	fuseTransposeMM(blocks)
+	p := &Program{Blocks: blocks, Source: source, Params: c.Params}
+	idx := 0
+	WalkBlocks(p.Blocks, func(b *Block) {
+		if b.Kind == dml.GenericBlock {
+			b.Index = idx
+			idx++
+		} else {
+			b.Index = -1
+		}
+	})
+	p.NumLeaf = idx
+	return p, nil
+}
+
+// RecompileGeneric rebuilds a generic block's DAG against updated variable
+// metadata — the dynamic recompilation hook (paper §2.1/§4): at runtime,
+// exact sizes of intermediates are known and propagated through the DAG
+// before runtime plan regeneration.
+func (c *Compiler) RecompileGeneric(b *Block, meta SymTab) (*Block, error) {
+	metaCopy := meta.Clone()
+	nb, err := c.buildGeneric(b.Stmts, metaCopy, b.FirstLine, b.LastLine)
+	if err != nil {
+		return nil, err
+	}
+	nb.Index = b.Index
+	fuseDAG(nb.Roots)
+	return nb, nil
+}
+
+func (c *Compiler) buildBlocks(sblocks []*dml.StatementBlock, meta SymTab) ([]*Block, error) {
+	var out []*Block
+	for _, sb := range sblocks {
+		built, err := c.buildBlock(sb, meta)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, built...)
+	}
+	return out, nil
+}
+
+// buildBlock compiles one statement block; branch removal may splice a
+// conditional's branch blocks directly into the parent, hence the slice
+// return.
+func (c *Compiler) buildBlock(sb *dml.StatementBlock, meta SymTab) ([]*Block, error) {
+	var out []*Block
+	var err error
+	switch sb.Kind {
+	case dml.GenericBlock:
+		var b *Block
+		b, err = c.buildGeneric(sb.Stmts, meta, sb.FirstLine, sb.LastLine)
+		if b != nil {
+			out = []*Block{b}
+		}
+	case dml.IfBlockKind:
+		out, err = c.buildIf(sb, meta)
+	case dml.WhileBlockKind:
+		out, err = c.buildWhile(sb, meta)
+	case dml.ForBlockKind:
+		out, err = c.buildFor(sb, meta)
+	default:
+		err = fmt.Errorf("hop: unsupported block kind %v", sb.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range out {
+		if b.Src == nil {
+			b.Src = sb
+		}
+	}
+	return out, nil
+}
+
+// RebuildScope recompiles the statement blocks underlying the given hop
+// blocks against runtime metadata, returning a standalone program for
+// re-optimization (paper §4.2). Since the scope extends to the end of the
+// call context, dead stores at scope end are prunable.
+func (c *Compiler) RebuildScope(blocks []*Block, meta SymTab) (*Program, error) {
+	srcs := make([]*dml.StatementBlock, 0, len(blocks))
+	for _, b := range blocks {
+		if b.Src == nil {
+			return nil, fmt.Errorf("hop: block at line %d lacks source linkage", b.FirstLine)
+		}
+		// Branch removal may map several hop blocks to one source block.
+		if len(srcs) == 0 || srcs[len(srcs)-1] != b.Src {
+			srcs = append(srcs, b.Src)
+		}
+	}
+	rebuilt, err := c.buildBlocks(srcs, meta.Clone())
+	if err != nil {
+		return nil, err
+	}
+	pruneDeadWrites(rebuilt)
+	fuseTransposeMM(rebuilt)
+	p := &Program{Blocks: rebuilt, Params: c.Params}
+	idx := 0
+	WalkBlocks(p.Blocks, func(b *Block) {
+		if b.Kind == dml.GenericBlock {
+			b.Index = idx
+			idx++
+		} else {
+			b.Index = -1
+		}
+	})
+	p.NumLeaf = idx
+	return p, nil
+}
+
+func (c *Compiler) buildIf(sb *dml.StatementBlock, meta SymTab) ([]*Block, error) {
+	predCtx := c.newCtx(meta)
+	pred, err := c.expr(sb.Pred, predCtx)
+	if err != nil {
+		return nil, fmt.Errorf("line %d: if predicate: %w", sb.FirstLine, err)
+	}
+	if pred.DataType == Matrix {
+		return nil, fmt.Errorf("line %d: if predicate must be scalar", sb.FirstLine)
+	}
+	// Static branch removal (paper Appendix B): a constant-folded predicate
+	// selects one branch, enabling unconditional size propagation.
+	if pred.KnownVal {
+		if pred.Value != 0 {
+			return c.buildBlocks(sb.Then, meta)
+		}
+		return c.buildBlocks(sb.Else, meta)
+	}
+	thenMeta := meta.Clone()
+	elseMeta := meta.Clone()
+	thenB, err := c.buildBlocks(sb.Then, thenMeta)
+	if err != nil {
+		return nil, err
+	}
+	elseB, err := c.buildBlocks(sb.Else, elseMeta)
+	if err != nil {
+		return nil, err
+	}
+	mergeMeta(meta, thenMeta, elseMeta)
+	b := &Block{Kind: dml.IfBlockKind, Index: -1, Pred: pred, PredExpr: sb.Pred,
+		Then: thenB, Else: elseB, FirstLine: sb.FirstLine, LastLine: sb.LastLine}
+	return []*Block{b}, nil
+}
+
+func (c *Compiler) buildWhile(sb *dml.StatementBlock, meta SymTab) ([]*Block, error) {
+	// Pass 1: trial compilation on a copy to discover which variables
+	// change inside the loop; those are weakened to unknown (fixpoint
+	// approximation, as in SystemML's size propagation).
+	trial := meta.Clone()
+	if _, err := c.buildBlocks(sb.Body, trial); err != nil {
+		return nil, err
+	}
+	weaken(meta, trial)
+	predCtx := c.newCtx(meta)
+	pred, err := c.expr(sb.Pred, predCtx)
+	if err != nil {
+		return nil, fmt.Errorf("line %d: while predicate: %w", sb.FirstLine, err)
+	}
+	body, err := c.buildBlocks(sb.Body, meta)
+	if err != nil {
+		return nil, err
+	}
+	weaken(meta, meta) // no-op shape; meta already weakened pre-body
+	b := &Block{Kind: dml.WhileBlockKind, Index: -1, Pred: pred, PredExpr: sb.Pred,
+		Body: body, KnownIters: Unknown, FirstLine: sb.FirstLine, LastLine: sb.LastLine}
+	return []*Block{b}, nil
+}
+
+func (c *Compiler) buildFor(sb *dml.StatementBlock, meta SymTab) ([]*Block, error) {
+	fromCtx := c.newCtx(meta)
+	from, err := c.expr(sb.From, fromCtx)
+	if err != nil {
+		return nil, fmt.Errorf("line %d: for lower bound: %w", sb.FirstLine, err)
+	}
+	to, err := c.expr(sb.To, fromCtx)
+	if err != nil {
+		return nil, fmt.Errorf("line %d: for upper bound: %w", sb.FirstLine, err)
+	}
+	iters := Unknown
+	if from.KnownVal && to.KnownVal {
+		iters = int64(to.Value-from.Value) + 1
+		if iters < 0 {
+			iters = 0
+		}
+	}
+	trial := meta.Clone()
+	trial[sb.Var] = VarMeta{} // loop variable: scalar, unknown value
+	if _, err := c.buildBlocks(sb.Body, trial); err != nil {
+		return nil, err
+	}
+	weaken(meta, trial)
+	meta[sb.Var] = VarMeta{}
+	body, err := c.buildBlocks(sb.Body, meta)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Kind: dml.ForBlockKind, Index: -1, Var: sb.Var,
+		From: from, To: to, FromExpr: sb.From, ToExpr: sb.To,
+		Body: body, KnownIters: iters, Parallel: sb.Parallel,
+		FirstLine: sb.FirstLine, LastLine: sb.LastLine}
+	return []*Block{b}, nil
+}
+
+// mergeMeta merges the symbol tables of two conditional branches into dst:
+// agreeing facts survive, disagreeing facts are weakened to unknown.
+func mergeMeta(dst SymTab, a, b SymTab) {
+	names := make(map[string]bool)
+	for k := range a {
+		names[k] = true
+	}
+	for k := range b {
+		names[k] = true
+	}
+	for k := range names {
+		va, okA := a[k]
+		vb, okB := b[k]
+		switch {
+		case okA && okB && va == vb:
+			dst[k] = va
+		case okA && okB:
+			dst[k] = weakened(va, vb)
+		case okA:
+			// Defined in one branch only: existence is conditional; keep a
+			// fully weakened entry.
+			dst[k] = weakened(va, va.unknownLike())
+		default:
+			dst[k] = weakened(vb, vb.unknownLike())
+		}
+	}
+}
+
+func (v VarMeta) unknownLike() VarMeta {
+	if v.IsMatrix {
+		return VarMeta{IsMatrix: true, Rows: Unknown, Cols: Unknown, NNZ: Unknown}
+	}
+	return VarMeta{}
+}
+
+// weakened merges two facts about the same variable, keeping agreement and
+// discarding disagreement.
+func weakened(a, b VarMeta) VarMeta {
+	if a.IsMatrix != b.IsMatrix {
+		return VarMeta{IsMatrix: true, Rows: Unknown, Cols: Unknown, NNZ: Unknown}
+	}
+	if a.IsMatrix {
+		out := VarMeta{IsMatrix: true, Rows: Unknown, Cols: Unknown, NNZ: Unknown}
+		if a.Rows == b.Rows {
+			out.Rows = a.Rows
+		}
+		if a.Cols == b.Cols {
+			out.Cols = a.Cols
+		}
+		if a.NNZ == b.NNZ {
+			out.NNZ = a.NNZ
+		}
+		return out
+	}
+	out := VarMeta{}
+	if a.Known && b.Known && a.Val == b.Val {
+		out.Known, out.Val = true, a.Val
+	}
+	if a.IsStr && b.IsStr && a.Str == b.Str {
+		out.IsStr, out.Str = true, a.Str
+	}
+	return out
+}
+
+// weaken folds the differences between meta and the trial table back into
+// meta: any variable whose metadata changed during the trial loop pass is
+// weakened in meta.
+func weaken(meta SymTab, trial SymTab) {
+	for k, tv := range trial {
+		mv, ok := meta[k]
+		if !ok {
+			// First defined inside the loop: conditional existence.
+			meta[k] = weakened(tv, tv.unknownLike())
+			continue
+		}
+		if mv != tv {
+			meta[k] = weakened(mv, tv)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package hop
+
+import (
+	"fmt"
+
+	"elasticml/internal/dml"
+)
+
+// call compiles a builtin function call in expression position.
+func (c *Compiler) call(e *dml.Call, ctx *dagCtx) (*Hop, error) {
+	args := make([]*Hop, len(e.Args))
+	for i, a := range e.Args {
+		h, err := c.expr(a, ctx)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = h
+	}
+	named := make(map[string]*Hop, len(e.Named))
+	for k, v := range e.Named {
+		h, err := c.expr(v, ctx)
+		if err != nil {
+			return nil, err
+		}
+		named[k] = h
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d arguments, got %d", e.Name, n, len(args))
+		}
+		return nil
+	}
+
+	switch e.Name {
+	case "read":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if args[0].DataType != String {
+			return nil, fmt.Errorf("read path must be a string")
+		}
+		return c.readHop(ctx, args[0].StrValue)
+
+	case "matrix":
+		v := argOrNamed(args, named, 0, "")
+		rows := argOrNamed(args, named, 1, "rows")
+		cols := argOrNamed(args, named, 2, "cols")
+		if v == nil || rows == nil || cols == nil {
+			return nil, fmt.Errorf("matrix requires value, rows=, cols=")
+		}
+		h := c.newHop(ctx, KindDataGen, "matrix", v, rows, cols)
+		h.DataType = Matrix
+		return c.seal(ctx, h), nil
+
+	case "seq":
+		if len(args) == 2 {
+			args = append(args, c.lit(ctx, 1))
+		}
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		h := c.newHop(ctx, KindSeq, "seq", args...)
+		h.DataType = Matrix
+		return c.seal(ctx, h), nil
+
+	case "nrow", "ncol":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		x := args[0]
+		if x.DataType != Matrix {
+			return nil, fmt.Errorf("%s requires a matrix", e.Name)
+		}
+		dim := x.Rows
+		if e.Name == "ncol" {
+			dim = x.Cols
+		}
+		if dim != Unknown {
+			return c.lit(ctx, float64(dim)), nil
+		}
+		h := c.newHop(ctx, KindAggUnary, e.Name, x)
+		h.DataType = Scalar
+		return c.seal(ctx, h), nil
+
+	case "sum":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return c.sumOf(ctx, args[0])
+
+	case "mean":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return c.agg(ctx, "mean", args[0])
+
+	case "trace":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return c.agg(ctx, "trace", args[0])
+
+	case "min", "max":
+		switch len(args) {
+		case 1:
+			return c.agg(ctx, e.Name, args[0])
+		case 2:
+			return c.binary(ctx, e.Name, args[0], args[1])
+		default:
+			return nil, fmt.Errorf("%s expects 1 or 2 arguments", e.Name)
+		}
+
+	case "rowSums", "colSums", "rowMaxs", "rowMeans", "colMeans", "colMaxs":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		h := c.newHop(ctx, KindAggUnary, e.Name, args[0])
+		h.DataType = Matrix
+		return c.seal(ctx, h), nil
+
+	case "t":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		x := args[0]
+		// t(t(X)) => X.
+		if x.Kind == KindReorg && x.Op == "t" {
+			return x.Inputs[0], nil
+		}
+		h := c.newHop(ctx, KindReorg, "t", x)
+		h.DataType = Matrix
+		return c.seal(ctx, h), nil
+
+	case "append", "cbind":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		h := c.newHop(ctx, KindAppend, "cbind", args[0], args[1])
+		h.DataType = Matrix
+		return c.seal(ctx, h), nil
+
+	case "rbind":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		h := c.newHop(ctx, KindAppend, "rbind", args[0], args[1])
+		h.DataType = Matrix
+		return c.seal(ctx, h), nil
+
+	case "ppred":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		opArg := args[2]
+		if opArg.DataType != String {
+			return nil, fmt.Errorf("ppred operator must be a string literal")
+		}
+		if _, ok := SurfaceBinaryOp(opArg.StrValue); !ok {
+			return nil, fmt.Errorf("ppred: unknown operator %q", opArg.StrValue)
+		}
+		return c.binary(ctx, opArg.StrValue, args[0], args[1])
+
+	case "table":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		h := c.newHop(ctx, KindTable, "table", args[0], args[1])
+		h.DataType = Matrix
+		return c.seal(ctx, h), nil
+
+	case "diag":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		h := c.newHop(ctx, KindDiag, "diag", args[0])
+		h.DataType = Matrix
+		return c.seal(ctx, h), nil
+
+	case "solve":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		h := c.newHop(ctx, KindSolve, "solve", args[0], args[1])
+		h.DataType = Matrix
+		return c.seal(ctx, h), nil
+
+	case "sqrt", "abs", "exp", "log", "round", "floor", "ceil", "sign":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return c.unary(ctx, e.Name, args[0]), nil
+
+	case "as.scalar", "castAsScalar":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		x := args[0]
+		if x.DataType != Matrix {
+			return x, nil
+		}
+		h := c.newHop(ctx, KindCast, "as.scalar", x)
+		h.DataType = Scalar
+		return c.seal(ctx, h), nil
+
+	default:
+		return nil, fmt.Errorf("unsupported builtin %q", e.Name)
+	}
+}
+
+// readHop stats the input file on the simulated DFS and constructs a
+// persistent-read hop with its metadata.
+func (c *Compiler) readHop(ctx *dagCtx, path string) (*Hop, error) {
+	if c.FS == nil {
+		return nil, fmt.Errorf("read(%q): no file system attached to compiler", path)
+	}
+	f, err := c.FS.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hop{ID: c.id(), Kind: KindRead, Name: path, DataType: Matrix,
+		Rows: f.Rows, Cols: f.Cols, NNZ: f.NNZ}
+	estimateMem(h)
+	key := cseKey(h)
+	if prev, ok := ctx.cse[key]; ok {
+		return prev, nil
+	}
+	ctx.cse[key] = h
+	return h, nil
+}
+
+// agg constructs a full aggregate producing a scalar.
+func (c *Compiler) agg(ctx *dagCtx, op string, x *Hop) (*Hop, error) {
+	if x.DataType != Matrix {
+		// Aggregate of a scalar is the scalar itself.
+		return x, nil
+	}
+	h := c.newHop(ctx, KindAggUnary, op, x)
+	h.DataType = Scalar
+	return c.seal(ctx, h), nil
+}
+
+// sumOf applies the tertiary-aggregate and sum-of-squares rewrites before
+// falling back to a plain sum (paper Appendix B: physical operators for
+// special patterns like sum(v1*v2*v3)).
+func (c *Compiler) sumOf(ctx *dagCtx, x *Hop) (*Hop, error) {
+	if x.DataType != Matrix {
+		return x, nil
+	}
+	// sum(sq(x)) => sumsq(x).
+	if x.Kind == KindUnary && x.Op == "sq" {
+		h := c.newHop(ctx, KindAggUnary, "sumsq", x.Inputs[0])
+		h.DataType = Scalar
+		return c.seal(ctx, h), nil
+	}
+	// sum(a*b) and sum(a*b*c) => fused ternary aggregates.
+	if x.Kind == KindBinary && x.Op == "*" && len(x.Inputs) == 2 &&
+		x.Inputs[0].DataType == Matrix && x.Inputs[1].DataType == Matrix {
+		a, b := x.Inputs[0], x.Inputs[1]
+		if a.Kind == KindBinary && a.Op == "*" && len(a.Inputs) == 2 &&
+			a.Inputs[0].DataType == Matrix && a.Inputs[1].DataType == Matrix {
+			h := c.newHop(ctx, KindTernaryAgg, "tak+*", a.Inputs[0], a.Inputs[1], b)
+			h.DataType = Scalar
+			return c.seal(ctx, h), nil
+		}
+		h := c.newHop(ctx, KindTernaryAgg, "tak+*", a, b)
+		h.DataType = Scalar
+		return c.seal(ctx, h), nil
+	}
+	return c.agg(ctx, "sum", x)
+}
+
+func argOrNamed(args []*Hop, named map[string]*Hop, pos int, name string) *Hop {
+	if pos < len(args) {
+		return args[pos]
+	}
+	if name != "" {
+		return named[name]
+	}
+	return nil
+}

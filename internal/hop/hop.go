@@ -1,0 +1,300 @@
+// Package hop implements the high-level operator (HOP) layer of the
+// compiler: per-statement-block operator DAGs with size and sparsity
+// propagation, scalar constant inference (enabling constant folding and
+// branch removal), common subexpression elimination, algebraic rewrites,
+// and worst-case operation memory estimates (paper §2.1, Appendix B).
+//
+// Memory estimates computed here are the foundation of all memory-sensitive
+// compilation steps: CP-vs-MR operator selection, physical operator choice
+// and piggybacking at the LOP layer, and the memory-based grid generator of
+// the resource optimizer.
+package hop
+
+import (
+	"fmt"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/dml"
+)
+
+// Unknown marks an unknown dimension or non-zero count.
+const Unknown int64 = -1
+
+// Kind classifies HOP operators.
+type Kind int
+
+// HOP operator kinds.
+const (
+	KindRead       Kind = iota // persistent read (Name = file path)
+	KindWrite                  // persistent write (Inputs[0]=value, Inputs[1]=path hop)
+	KindTRead                  // transient read (Name = variable)
+	KindTWrite                 // transient write (Name = variable, Inputs[0]=value)
+	KindLit                    // scalar literal (Value / StrValue)
+	KindDataGen                // matrix(v, rows, cols): Inputs = v, rows, cols
+	KindSeq                    // seq(from, to, incr)
+	KindUnary                  // elementwise unary or scalar builtin (Op)
+	KindBinary                 // elementwise binary or scalar arithmetic (Op)
+	KindAggUnary               // full/partial aggregate: sum, min, max, mean, trace, rowSums, colSums, rowMaxs, sumsq
+	KindMatMul                 // ba(+*) matrix multiplication
+	KindReorg                  // t() transpose
+	KindAppend                 // cbind / rbind (Op distinguishes)
+	KindIndex                  // right indexing: Inputs = X, rl, ru, cl, cu (nil => full)
+	KindLeftIndex              // left indexing: Inputs = X, Y, rl, ru, cl, cu
+	KindTable                  // table(a, b)
+	KindDiag                   // diag(v)
+	KindSolve                  // solve(A, b)
+	KindTernaryAgg             // sum(a*b) or sum(a*b*c) fused aggregate
+	KindCast                   // as.scalar / as.matrix
+	KindPrint                  // print(expr)
+	KindStop                   // stop(expr)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRead:
+		return "read"
+	case KindWrite:
+		return "write"
+	case KindTRead:
+		return "tread"
+	case KindTWrite:
+		return "twrite"
+	case KindLit:
+		return "lit"
+	case KindDataGen:
+		return "datagen"
+	case KindSeq:
+		return "seq"
+	case KindUnary:
+		return "unary"
+	case KindBinary:
+		return "binary"
+	case KindAggUnary:
+		return "agg"
+	case KindMatMul:
+		return "ba(+*)"
+	case KindReorg:
+		return "reorg"
+	case KindAppend:
+		return "append"
+	case KindIndex:
+		return "rix"
+	case KindLeftIndex:
+		return "lix"
+	case KindTable:
+		return "table"
+	case KindDiag:
+		return "diag"
+	case KindSolve:
+		return "solve"
+	case KindTernaryAgg:
+		return "tagg"
+	case KindCast:
+		return "cast"
+	case KindPrint:
+		return "print"
+	case KindStop:
+		return "stop"
+	}
+	return "?"
+}
+
+// DataType distinguishes matrix and scalar HOPs.
+type DataType int
+
+// Data types.
+const (
+	Matrix DataType = iota
+	Scalar
+	String
+)
+
+// ExecType is the execution location decided during operator selection.
+type ExecType int
+
+// Execution types.
+const (
+	ExecUndecided ExecType = iota
+	ExecCP
+	ExecMR
+)
+
+func (e ExecType) String() string {
+	switch e {
+	case ExecCP:
+		return "CP"
+	case ExecMR:
+		return "MR"
+	}
+	return "?"
+}
+
+// Hop is one node of a HOP DAG.
+type Hop struct {
+	// ID is unique within one compiled program.
+	ID int64
+	// Kind and Op identify the operator; Op carries the surface operator
+	// for unary/binary/aggregate kinds (e.g. "+", "sum", "rowSums").
+	Kind Kind
+	Op   string
+	// Inputs are the operand HOPs in positional order; entries may be nil
+	// for optional index bounds.
+	Inputs []*Hop
+	// DataType of the output.
+	DataType DataType
+	// Name for read/write/transient operators.
+	Name string
+	// Literal payloads.
+	Value    float64
+	StrValue string
+	// Known scalar constant (propagated; enables folding and branch
+	// removal). Only meaningful for DataType Scalar.
+	KnownVal bool
+	// Dimensions and non-zeros of the output (Unknown if not inferable).
+	Rows, Cols, NNZ int64
+	// TransA marks a matrix multiplication whose left operand is consumed
+	// transposed without materializing the transpose (the transpose-mm
+	// rewrite of paper Table 4: t(X)%*%v avoids the large reorg).
+	TransA bool
+	// OutMem is the worst-case in-memory size of the output.
+	OutMem conf.Bytes
+	// OpMem is the operation memory estimate: inputs + output +
+	// intermediates, the quantity compared against the CP budget.
+	OpMem conf.Bytes
+}
+
+// DimsKnown reports whether both output dimensions are known.
+func (h *Hop) DimsKnown() bool { return h.Rows != Unknown && h.Cols != Unknown }
+
+// Sparsity returns the worst-case output sparsity (1.0 when nnz unknown).
+func (h *Hop) Sparsity() float64 {
+	if h.NNZ == Unknown || h.Rows <= 0 || h.Cols <= 0 {
+		return 1.0
+	}
+	return float64(h.NNZ) / (float64(h.Rows) * float64(h.Cols))
+}
+
+// IsScalar reports whether the hop produces a scalar or string.
+func (h *Hop) IsScalar() bool { return h.DataType != Matrix }
+
+func (h *Hop) String() string {
+	d := "?x?"
+	if h.DimsKnown() {
+		d = fmt.Sprintf("%dx%d", h.Rows, h.Cols)
+	}
+	label := h.Kind.String()
+	if h.Op != "" {
+		label += "(" + h.Op + ")"
+	}
+	if h.Name != "" {
+		label += " " + h.Name
+	}
+	return fmt.Sprintf("%s [%s, out=%v, op=%v]", label, d, h.OutMem, h.OpMem)
+}
+
+// Program is a compiled HOP-level program: the hierarchy of blocks plus
+// bookkeeping for the resource optimizer.
+type Program struct {
+	Blocks []*Block
+	// NumLeaf is the number of leaf generic blocks, i.e. the length of the
+	// MR part of the resource vector R_P.
+	NumLeaf int
+	// Source retains the original script and parameters so that runtime
+	// migration can recompile from scratch (paper §4.1: "we do not need to
+	// serialize execution plans but can pass the original script").
+	Source string
+	Params map[string]interface{}
+}
+
+// Block is one program block in the HOP-level hierarchy.
+type Block struct {
+	Kind dml.BlockKind
+	// Index is the leaf index into the resource vector for generic blocks,
+	// -1 for control blocks.
+	Index int
+	// Roots of the generic block's DAG (twrite/write/print roots) in
+	// statement order.
+	Roots []*Hop
+	// Pred is the predicate DAG root for if/while blocks.
+	Pred *Hop
+	// For header.
+	Var      string
+	From, To *Hop
+	// Children.
+	Then, Else, Body []*Block
+	// Stmts retains the source statements of generic blocks for dynamic
+	// recompilation.
+	Stmts []dml.Stmt
+	// Src links back to the originating statement block, enabling whole
+	// subtrees to be recompiled against runtime metadata (re-optimization
+	// scope rebuilding, paper §4.2).
+	Src *dml.StatementBlock
+	// PredExpr / loop header expressions for recompilation of predicates.
+	PredExpr         dml.Expr
+	FromExpr, ToExpr dml.Expr
+	// Recompile marks blocks whose DAG contains unknown dimensions and is
+	// therefore subject to dynamic recompilation.
+	Recompile bool
+	// KnownIters is the inferred loop trip count (Unknown if not static).
+	KnownIters int64
+	// Parallel marks parfor blocks: iterations are independent and may
+	// run concurrently (task-parallel extension).
+	Parallel bool
+	// FirstLine/LastLine delimit the source range.
+	FirstLine, LastLine int
+}
+
+// WalkBlocks visits all blocks in pre-order.
+func WalkBlocks(blocks []*Block, fn func(*Block)) {
+	for _, b := range blocks {
+		fn(b)
+		WalkBlocks(b.Then, fn)
+		WalkBlocks(b.Else, fn)
+		WalkBlocks(b.Body, fn)
+	}
+}
+
+// LeafBlocks returns the generic blocks of the program in execution order,
+// indexed consistently with Block.Index.
+func (p *Program) LeafBlocks() []*Block {
+	out := make([]*Block, 0, p.NumLeaf)
+	WalkBlocks(p.Blocks, func(b *Block) {
+		if b.Kind == dml.GenericBlock {
+			out = append(out, b)
+		}
+	})
+	return out
+}
+
+// WalkDAG visits every hop reachable from the given roots exactly once in
+// post-order (inputs before consumers).
+func WalkDAG(roots []*Hop, fn func(*Hop)) {
+	seen := make(map[int64]bool)
+	var rec func(h *Hop)
+	rec = func(h *Hop) {
+		if h == nil || seen[h.ID] {
+			return
+		}
+		seen[h.ID] = true
+		for _, in := range h.Inputs {
+			rec(in)
+		}
+		fn(h)
+	}
+	for _, r := range roots {
+		rec(r)
+	}
+}
+
+// HasUnknownDims reports whether any matrix hop reachable from roots has
+// unknown dimensions — the trigger for marking a block for dynamic
+// recompilation.
+func HasUnknownDims(roots []*Hop) bool {
+	found := false
+	WalkDAG(roots, func(h *Hop) {
+		if h.DataType == Matrix && !h.DimsKnown() {
+			found = true
+		}
+	})
+	return found
+}

@@ -1,0 +1,468 @@
+package hop
+
+import (
+	"math"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/matrix"
+)
+
+// finalize infers output dimensions, worst-case non-zeros, scalar constant
+// values, and memory estimates of a freshly constructed hop. It must be
+// called bottom-up (inputs first), which the builder guarantees.
+func finalize(h *Hop) {
+	inferSizes(h)
+	inferScalar(h)
+	estimateMem(h)
+}
+
+func in(h *Hop, i int) *Hop {
+	if i < len(h.Inputs) {
+		return h.Inputs[i]
+	}
+	return nil
+}
+
+// inferSizes sets Rows/Cols/NNZ from the inputs using worst-case rules.
+func inferSizes(h *Hop) {
+	if h.DataType != Matrix {
+		h.Rows, h.Cols, h.NNZ = 0, 0, 0
+		return
+	}
+	h.Rows, h.Cols, h.NNZ = Unknown, Unknown, Unknown
+	switch h.Kind {
+	case KindRead, KindTRead:
+		// Set by the builder from file/variable metadata.
+	case KindDataGen:
+		v, r, c := in(h, 0), in(h, 1), in(h, 2)
+		if r != nil && r.KnownVal {
+			h.Rows = int64(r.Value)
+		}
+		if c != nil && c.KnownVal {
+			h.Cols = int64(c.Value)
+		}
+		if h.Rows != Unknown && h.Cols != Unknown {
+			if v != nil && v.KnownVal && v.Value == 0 {
+				h.NNZ = 0
+			} else {
+				h.NNZ = h.Rows * h.Cols
+			}
+		}
+	case KindSeq:
+		from, to, incr := in(h, 0), in(h, 1), in(h, 2)
+		if from != nil && to != nil && incr != nil &&
+			from.KnownVal && to.KnownVal && incr.KnownVal && incr.Value != 0 {
+			n := int64((to.Value-from.Value)/incr.Value) + 1
+			if n < 0 {
+				n = 0
+			}
+			h.Rows, h.Cols, h.NNZ = n, 1, n
+		} else {
+			h.Cols = 1
+		}
+	case KindUnary:
+		x := in(h, 0)
+		h.Rows, h.Cols = x.Rows, x.Cols
+		// Sparse-safe unaries preserve nnz; others densify worst-case.
+		switch h.Op {
+		case "sqrt", "abs", "round", "floor", "ceil", "-", "sign", "sq":
+			h.NNZ = x.NNZ
+		default:
+			if h.Rows != Unknown && h.Cols != Unknown {
+				h.NNZ = h.Rows * h.Cols
+			}
+		}
+	case KindBinary:
+		a, b := in(h, 0), in(h, 1)
+		switch {
+		case a.IsScalar() && b.IsScalar():
+			// handled by DataType != Matrix above
+		case a.IsScalar():
+			h.Rows, h.Cols = b.Rows, b.Cols
+		case b.IsScalar():
+			h.Rows, h.Cols = a.Rows, a.Cols
+		default:
+			// Broadcast: output has the max extents.
+			h.Rows = maxDim(a.Rows, b.Rows)
+			h.Cols = maxDim(a.Cols, b.Cols)
+		}
+		h.NNZ = binaryNNZ(h, a, b)
+	case KindAggUnary:
+		x := in(h, 0)
+		switch h.Op {
+		case "rowSums", "rowMaxs", "rowMeans":
+			h.Rows, h.Cols = x.Rows, 1
+			if h.Rows != Unknown {
+				h.NNZ = h.Rows
+			}
+		case "colSums", "colMaxs", "colMeans":
+			h.Rows, h.Cols = 1, x.Cols
+			if h.Cols != Unknown {
+				h.NNZ = h.Cols
+			}
+		default:
+			// full aggregates are scalars; DataType is Scalar then.
+		}
+	case KindMatMul:
+		a, b := in(h, 0), in(h, 1)
+		aRows, aCols := a.Rows, a.Cols
+		if h.TransA {
+			aRows, aCols = aCols, aRows
+		}
+		h.Rows, h.Cols = aRows, b.Cols
+		if h.Rows != Unknown && h.Cols != Unknown && aCols != Unknown {
+			sp := matrix.MulSparsity(a.Sparsity(), b.Sparsity(), aCols)
+			h.NNZ = int64(math.Ceil(sp * float64(h.Rows) * float64(h.Cols)))
+		}
+	case KindReorg:
+		x := in(h, 0)
+		h.Rows, h.Cols, h.NNZ = x.Cols, x.Rows, x.NNZ
+	case KindAppend:
+		a, b := in(h, 0), in(h, 1)
+		if h.Op == "rbind" {
+			h.Cols = a.Cols
+			if a.Rows != Unknown && b.Rows != Unknown {
+				h.Rows = a.Rows + b.Rows
+			}
+		} else {
+			h.Rows = a.Rows
+			if a.Cols != Unknown && b.Cols != Unknown {
+				h.Cols = a.Cols + b.Cols
+			}
+		}
+		if a.NNZ != Unknown && b.NNZ != Unknown {
+			h.NNZ = a.NNZ + b.NNZ
+		}
+	case KindIndex:
+		x := in(h, 0)
+		h.Rows = rangeExtent(in(h, 1), in(h, 2), x.Rows)
+		h.Cols = rangeExtent(in(h, 3), in(h, 4), x.Cols)
+		if h.Rows != Unknown && h.Cols != Unknown {
+			// Worst case: selected region fully dense, bounded by source nnz.
+			h.NNZ = h.Rows * h.Cols
+			if x.NNZ != Unknown && x.NNZ < h.NNZ {
+				h.NNZ = x.NNZ
+			}
+		}
+	case KindLeftIndex:
+		x := in(h, 0)
+		h.Rows, h.Cols = x.Rows, x.Cols
+		if h.Rows != Unknown && h.Cols != Unknown {
+			h.NNZ = h.Rows * h.Cols
+		}
+	case KindTable:
+		// Output dims are data dependent: rows bounded by max row-category,
+		// columns by max column-category — unknown at compile time. The
+		// special pattern table(seq(1,n), y) has known rows n.
+		a := in(h, 0)
+		if a != nil && a.Kind == KindSeq && a.Rows != Unknown {
+			h.Rows = a.Rows
+		}
+	case KindDiag:
+		x := in(h, 0)
+		if x.Cols == 1 {
+			h.Rows, h.Cols = x.Rows, x.Rows
+			h.NNZ = x.NNZ
+		} else {
+			h.Rows, h.Cols = minDim(x.Rows, x.Cols), 1
+			if h.Rows != Unknown {
+				h.NNZ = h.Rows
+			}
+		}
+	case KindSolve:
+		a, b := in(h, 0), in(h, 1)
+		h.Rows, h.Cols = a.Cols, b.Cols
+		if h.Rows != Unknown && h.Cols != Unknown {
+			h.NNZ = h.Rows * h.Cols
+		}
+	case KindCast:
+		x := in(h, 0)
+		h.Rows, h.Cols, h.NNZ = x.Rows, x.Cols, x.NNZ
+	case KindTWrite, KindWrite:
+		x := in(h, 0)
+		if x != nil {
+			h.Rows, h.Cols, h.NNZ = x.Rows, x.Cols, x.NNZ
+		}
+	}
+}
+
+func maxDim(a, b int64) int64 {
+	if a == Unknown || b == Unknown {
+		// Broadcasting: a known extent > 1 forces the result (the unknown
+		// side must be 1 or equal); a known extent of 1 leaves the unknown
+		// side in charge.
+		known := a
+		if a == Unknown {
+			known = b
+		}
+		if known > 1 {
+			return known
+		}
+		return Unknown
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minDim(a, b int64) int64 {
+	if a == Unknown || b == Unknown {
+		return Unknown
+	}
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// rangeExtent computes the extent of an index range [lo, hi] (1-based,
+// inclusive); nil lo means the full dimension, nil hi means single element.
+func rangeExtent(lo, hi *Hop, full int64) int64 {
+	if lo == nil {
+		return full
+	}
+	if hi == nil {
+		return 1
+	}
+	if lo.KnownVal && hi.KnownVal {
+		n := int64(hi.Value) - int64(lo.Value) + 1
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	return Unknown
+}
+
+func binaryNNZ(h *Hop, a, b *Hop) int64 {
+	if h.Rows == Unknown || h.Cols == Unknown {
+		return Unknown
+	}
+	cells := h.Rows * h.Cols
+	switch h.Op {
+	case "*", "&":
+		// Zero-preserving in both operands.
+		n := minDim(a.NNZ, b.NNZ)
+		if n == Unknown {
+			return cells
+		}
+		if n > cells {
+			n = cells
+		}
+		return n
+	case "+", "-":
+		if a.NNZ == Unknown || b.NNZ == Unknown {
+			return cells
+		}
+		n := a.NNZ + b.NNZ
+		if n > cells {
+			n = cells
+		}
+		return n
+	default:
+		return cells
+	}
+}
+
+// inferScalar propagates known scalar constants bottom-up: literals are
+// known, arithmetic over known scalars is known, and nrow/ncol of matrices
+// with known dimensions are known. This subsumes constant folding and
+// enables static branch removal.
+func inferScalar(h *Hop) {
+	if h.DataType == Matrix {
+		return
+	}
+	switch h.Kind {
+	case KindLit:
+		h.KnownVal = true
+	case KindUnary:
+		x := in(h, 0)
+		if x != nil && x.KnownVal {
+			h.KnownVal = true
+			h.Value = applyScalarUnary(h.Op, x.Value)
+		}
+	case KindBinary:
+		a, b := in(h, 0), in(h, 1)
+		if a != nil && b != nil && a.KnownVal && b.KnownVal {
+			h.KnownVal = true
+			h.Value = applyScalarBinary(h.Op, a.Value, b.Value)
+		}
+	case KindAggUnary:
+		// nrow/ncol pseudo-aggregates resolved by the builder directly.
+	case KindCast:
+		x := in(h, 0)
+		if x != nil && x.IsScalar() && x.KnownVal {
+			h.KnownVal, h.Value = true, x.Value
+		}
+	case KindTWrite:
+		x := in(h, 0)
+		if x != nil && x.KnownVal {
+			h.KnownVal, h.Value = true, x.Value
+		}
+	}
+}
+
+func applyScalarUnary(op string, v float64) float64 {
+	switch op {
+	case "-":
+		return -v
+	case "!":
+		if v == 0 {
+			return 1
+		}
+		return 0
+	case "sqrt":
+		return math.Sqrt(v)
+	case "abs":
+		return math.Abs(v)
+	case "exp":
+		return math.Exp(v)
+	case "log":
+		return math.Log(v)
+	case "round":
+		return math.Round(v)
+	case "floor":
+		return math.Floor(v)
+	case "ceil":
+		return math.Ceil(v)
+	case "sign":
+		switch {
+		case v > 0:
+			return 1
+		case v < 0:
+			return -1
+		}
+		return 0
+	case "sq":
+		return v * v
+	}
+	return math.NaN()
+}
+
+func applyScalarBinary(op string, a, b float64) float64 {
+	bo, ok := surfaceBinaryOp(op)
+	if !ok {
+		return math.NaN()
+	}
+	return bo.Apply(a, b)
+}
+
+// surfaceBinaryOp maps surface operators to matrix.BinaryOp.
+func surfaceBinaryOp(op string) (matrix.BinaryOp, bool) {
+	switch op {
+	case "+":
+		return matrix.Add, true
+	case "-":
+		return matrix.Sub, true
+	case "*":
+		return matrix.MulEW, true
+	case "/":
+		return matrix.Div, true
+	case "^":
+		return matrix.Pow, true
+	case "min":
+		return matrix.Min2, true
+	case "max":
+		return matrix.Max2, true
+	case "<":
+		return matrix.Less, true
+	case "<=":
+		return matrix.LessEq, true
+	case ">":
+		return matrix.Greater, true
+	case ">=":
+		return matrix.GreaterEq, true
+	case "==":
+		return matrix.EqualOp, true
+	case "!=":
+		return matrix.NotEqual, true
+	case "&":
+		return matrix.And, true
+	case "|":
+		return matrix.Or, true
+	}
+	return 0, false
+}
+
+// SurfaceBinaryOp exposes the operator mapping to the runtime.
+func SurfaceBinaryOp(op string) (matrix.BinaryOp, bool) { return surfaceBinaryOp(op) }
+
+// estimateMem computes the worst-case output and operation memory
+// estimates. Unknown dimensions yield "infinite" estimates so that
+// operator selection falls back to robust MR plans (SystemML's behaviour).
+func estimateMem(h *Hop) {
+	if h.DataType != Matrix {
+		h.OutMem = 16 // scalar slot
+		h.OpMem = 16
+		for _, i := range h.Inputs {
+			if i != nil && i.DataType == Matrix {
+				// Aggregates consume their matrix inputs in memory.
+				h.OpMem += i.OutMem
+			}
+		}
+		return
+	}
+	if !h.DimsKnown() {
+		// table(seq(1,n), y) has a data-dependent column count but exactly
+		// one non-zero per row: its worst-case footprint is the sparse
+		// indicator size, not infinity.
+		if h.Kind == KindTable && h.Rows != Unknown {
+			h.OutMem = matrix.SparseSize(h.Rows, h.Rows, 1/float64(h.Rows))
+			mem := h.OutMem
+			for _, i := range h.Inputs {
+				if i != nil && i.DataType == Matrix && i.DimsKnown() {
+					mem += i.OutMem
+				}
+			}
+			h.OpMem = mem
+			return
+		}
+		h.OutMem = infMem
+		h.OpMem = infMem
+		return
+	}
+	h.OutMem = matrix.EstimateSize(h.Rows, h.Cols, h.Sparsity())
+	mem := h.OutMem
+	seen := map[int64]bool{}
+	for _, i := range h.Inputs {
+		if i != nil && i.DataType == Matrix {
+			if !i.DimsKnown() {
+				h.OpMem = infMem
+				return
+			}
+			if !seen[i.ID] {
+				seen[i.ID] = true
+				mem += i.OutMem
+			}
+		}
+	}
+	// Operator-specific intermediates.
+	switch h.Kind {
+	case KindSolve:
+		// LU work copy of A plus RHS copy.
+		mem += in(h, 0).OutMem + in(h, 1).OutMem
+	case KindTable:
+		mem += h.OutMem // hash-side construction buffer
+	}
+	h.OpMem = mem
+}
+
+// UpdateFromRuntime overwrites a hop's dimensions with sizes observed at
+// execution time (e.g. the data-dependent output of table()) and refreshes
+// its memory estimates. The runtime uses this to charge simulated time from
+// actual sizes rather than worst-case unknowns.
+func UpdateFromRuntime(h *Hop, rows, cols, nnz int64) {
+	if h.DataType != Matrix {
+		return
+	}
+	h.Rows, h.Cols, h.NNZ = rows, cols, nnz
+	estimateMem(h)
+}
+
+// infMem is the "does not fit anywhere" estimate for unknown sizes.
+const infMem conf.Bytes = 1 << 60
+
+// InfiniteMem reports whether a memory estimate represents an unknown
+// (worst-case infinite) requirement.
+func InfiniteMem(b conf.Bytes) bool { return b >= infMem }

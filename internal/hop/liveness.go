@@ -1,0 +1,137 @@
+package hop
+
+import "elasticml/internal/dml"
+
+// pruneDeadWrites runs a backward liveness analysis over the block
+// hierarchy and removes transient writes of variables that are never read
+// afterwards. Dead transient writes otherwise inflate operator fan-out and
+// inhibit fusion rewrites such as MapMMChain (a dead intermediate would
+// appear to require materialization).
+func pruneDeadWrites(blocks []*Block) {
+	analyze(blocks, stringSet{}, true)
+}
+
+type stringSet map[string]bool
+
+func (s stringSet) clone() stringSet {
+	c := make(stringSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (s stringSet) addAll(o stringSet) {
+	for k := range o {
+		s[k] = true
+	}
+}
+
+func (s stringSet) equal(o stringSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// analyze processes blocks backward, returning the live-in set; when mark
+// is true, dead transient writes are pruned from generic blocks.
+func analyze(blocks []*Block, liveOut stringSet, mark bool) stringSet {
+	live := liveOut.clone()
+	for i := len(blocks) - 1; i >= 0; i-- {
+		live = analyzeBlock(blocks[i], live, mark)
+	}
+	return live
+}
+
+func analyzeBlock(b *Block, liveOut stringSet, mark bool) stringSet {
+	switch b.Kind {
+	case dml.GenericBlock:
+		if mark {
+			kept := b.Roots[:0]
+			for _, r := range b.Roots {
+				// Dead matrix stores are pruned (they inflate fan-out and
+				// inhibit fusion); scalar stores are kept regardless —
+				// they cost nothing and dynamic recompilation from source
+				// needs the full scalar variable table (constant folding
+				// removes their reads from the DAG).
+				if r.Kind == KindTWrite && r.DataType == Matrix && !liveOut[r.Name] {
+					continue
+				}
+				kept = append(kept, r)
+			}
+			b.Roots = kept
+			b.Recompile = HasUnknownDims(b.Roots)
+		}
+		live := liveOut.clone()
+		for _, r := range b.Roots {
+			if r.Kind == KindTWrite {
+				delete(live, r.Name)
+			}
+		}
+		// All roots' reads are live-in (including reads feeding the dead
+		// stores we keep no longer — they were pruned above, so reads are
+		// collected from the surviving roots only).
+		live.addAll(dagReads(b.Roots))
+		return live
+
+	case dml.IfBlockKind:
+		thenLive := analyze(b.Then, liveOut, mark)
+		elseLive := analyze(b.Else, liveOut, mark)
+		live := thenLive
+		live.addAll(elseLive)
+		live.addAll(dagReads([]*Hop{b.Pred}))
+		return live
+
+	default: // while / for
+		// Fixpoint: variables read by any later iteration are live at the
+		// loop back-edge. Iterate without marking until stable, then mark.
+		live := liveOut.clone()
+		live.addAll(headerReads(b))
+		for {
+			bodyLive := analyze(b.Body, live, false)
+			next := live.clone()
+			next.addAll(bodyLive)
+			if next.equal(live) {
+				break
+			}
+			live = next
+		}
+		if mark {
+			analyze(b.Body, live, true)
+		}
+		if b.Var != "" {
+			delete(live, b.Var)
+		}
+		return live
+	}
+}
+
+func headerReads(b *Block) stringSet {
+	var roots []*Hop
+	if b.Pred != nil {
+		roots = append(roots, b.Pred)
+	}
+	if b.From != nil {
+		roots = append(roots, b.From)
+	}
+	if b.To != nil {
+		roots = append(roots, b.To)
+	}
+	return dagReads(roots)
+}
+
+func dagReads(roots []*Hop) stringSet {
+	reads := stringSet{}
+	WalkDAG(roots, func(h *Hop) {
+		if h.Kind == KindTRead {
+			reads[h.Name] = true
+		}
+	})
+	return reads
+}

@@ -1,0 +1,79 @@
+package hop
+
+// fuseTransposeMM applies the transpose-mm rewrite to every block DAG:
+// a matrix multiplication whose left operand is a transpose consumed only
+// by this multiplication is rewired to read the untransposed input with
+// TransA set, avoiding materialization of the (potentially huge) transpose
+// (paper Table 4: "Avoid large transpose by transpose-mm rewrite").
+// It must run after dead-write pruning so that fan-out counts are accurate.
+func fuseTransposeMM(blocks []*Block) {
+	WalkBlocks(blocks, func(b *Block) {
+		roots := blockRoots(b)
+		if len(roots) > 0 {
+			fuseDAG(roots)
+		}
+	})
+}
+
+func blockRoots(b *Block) []*Hop {
+	roots := append([]*Hop{}, b.Roots...)
+	if b.Pred != nil {
+		roots = append(roots, b.Pred)
+	}
+	if b.From != nil {
+		roots = append(roots, b.From)
+	}
+	if b.To != nil {
+		roots = append(roots, b.To)
+	}
+	return roots
+}
+
+// fuseDAG rewires eligible matmuls reachable from roots. A transpose is
+// fused away when every one of its consumers is a matrix multiplication
+// using it as the left operand — then no consumer needs the materialized
+// transpose and the reorg node dies.
+func fuseDAG(roots []*Hop) {
+	var order []*Hop
+	WalkDAG(roots, func(h *Hop) { order = append(order, h) })
+	consumers := map[int64][]*Hop{}
+	for _, h := range order {
+		for _, in := range h.Inputs {
+			if in != nil {
+				consumers[in.ID] = append(consumers[in.ID], h)
+			}
+		}
+	}
+	for _, h := range order {
+		if h.Kind != KindReorg || h.Op != "t" {
+			continue
+		}
+		fusable := len(consumers[h.ID]) > 0
+		for _, c := range consumers[h.ID] {
+			uses := 0
+			if c.Kind == KindMatMul && !c.TransA && c.Inputs[0] == h {
+				uses++
+			}
+			// The transpose must appear only as left matmul operands; any
+			// other use (including the right matmul slot) blocks fusion.
+			total := 0
+			for _, in := range c.Inputs {
+				if in == h {
+					total++
+				}
+			}
+			if total != uses {
+				fusable = false
+				break
+			}
+		}
+		if !fusable {
+			continue
+		}
+		for _, c := range consumers[h.ID] {
+			c.TransA = true
+			c.Inputs[0] = h.Inputs[0]
+			estimateMem(c)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package lop
+
+import (
+	"strings"
+	"testing"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/scripts"
+)
+
+func TestExplainContainsPlanStructure(t *testing.T) {
+	res := conf.NewResources(512*conf.MB, 2*conf.GB, 64)
+	p := compile(t, scripts.LinregCG(), 1_000_000, 1000, res)
+	out := Explain(p)
+	for _, want := range []string{
+		"PROGRAM (resources 512MB/2GB)",
+		"WHILE (",
+		"GENERIC [block",
+		"MR GMR(",
+		"mapmmchain",
+		"broadcast=[",
+		"CP ",
+		"IF (", // the convergence branch has a data-dependent predicate
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainCPOnlyPlan(t *testing.T) {
+	res := conf.NewResources(conf.BytesOfGB(53.3), 2*conf.GB, 64)
+	p := compile(t, scripts.LinregDS(), 10_000, 100, res)
+	out := Explain(p)
+	if strings.Contains(out, "MR GMR(") {
+		t.Errorf("small data, large CP should have no MR jobs:\n%s", out)
+	}
+	if !strings.Contains(out, "solve") {
+		t.Errorf("DS plan should show solve:\n%s", out)
+	}
+	// All of DS's predicates fold at compile time (static branch removal),
+	// so no conditional survives into the plan.
+	if strings.Contains(out, "IF (") {
+		t.Errorf("DS with constant parameters should have no surviving IF:\n%s", out)
+	}
+}
+
+func TestExplainMarksRecompileAndUnknowns(t *testing.T) {
+	res := conf.NewResources(512*conf.MB, 2*conf.GB, 64)
+	p := compile(t, scripts.MLogreg(), 100_000, 100, res)
+	out := Explain(p)
+	if !strings.Contains(out, "recompile") {
+		t.Errorf("MLogreg plan should mark recompile blocks:\n%s", out)
+	}
+	if !strings.Contains(out, "?x?") {
+		t.Errorf("unknown dims should render as ?x?:\n%s", out)
+	}
+}
+
+func TestExplainMultiCore(t *testing.T) {
+	res := conf.NewResources(conf.BytesOfGB(53.3), 2*conf.GB, 64)
+	res.CPCores = 8
+	p := compile(t, scripts.LinregDS(), 10_000, 100, res)
+	if !strings.Contains(Explain(p), "8 CP cores") {
+		t.Error("multi-core config should be shown")
+	}
+}

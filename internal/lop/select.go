@@ -1,0 +1,270 @@
+package lop
+
+import (
+	"elasticml/internal/conf"
+	"elasticml/internal/dml"
+	"elasticml/internal/hop"
+)
+
+// Select compiles a HOP program into an executable runtime plan under the
+// given cluster configuration and resource vector. This is the
+// memory-sensitive heart of the compiler (paper §2.1): an operation runs in
+// CP if its memory estimate fits the CP budget (CPBudgetRatio of the CP
+// heap); map-side physical operators are chosen if their broadcast operand
+// fits the MR task budget; MR operators are packed into a minimal number of
+// jobs under the same budget.
+func Select(p *hop.Program, cc conf.Cluster, res conf.Resources) *Plan {
+	s := newSelector(cc, res)
+	plan := &Plan{Resources: res.Clone(), HopProgram: p}
+	plan.Blocks = s.blocks(p.Blocks)
+	return plan
+}
+
+// SelectBlock recompiles a single generic block (dynamic recompilation).
+func SelectBlock(b *hop.Block, cc conf.Cluster, res conf.Resources) *Block {
+	return newSelector(cc, res).generic(b)
+}
+
+func newSelector(cc conf.Cluster, res conf.Resources) *selector {
+	return &selector{cc: cc, res: res, cpBudget: cc.OpBudget(res.CP), cores: res.Cores()}
+}
+
+type selector struct {
+	cc       conf.Cluster
+	res      conf.Resources
+	cpBudget conf.Bytes
+	cores    int
+}
+
+// MultiThreadMemFactor is the per-extra-core inflation of operation memory
+// estimates for multi-threaded CP operations (§6: "usually the degree of
+// parallelism affects memory requirements").
+const MultiThreadMemFactor = 0.15
+
+// effectiveOpMem inflates an operation memory estimate for multi-threaded
+// execution (per-thread partial results and buffers).
+func (s *selector) effectiveOpMem(m conf.Bytes) conf.Bytes {
+	if s.cores <= 1 || hop.InfiniteMem(m) {
+		return m
+	}
+	f := 1 + MultiThreadMemFactor*float64(s.cores-1)
+	if f > 2 {
+		f = 2
+	}
+	return conf.Bytes(float64(m) * f)
+}
+
+func (s *selector) blocks(hbs []*hop.Block) []*Block {
+	out := make([]*Block, 0, len(hbs))
+	for _, hb := range hbs {
+		out = append(out, s.block(hb))
+	}
+	return out
+}
+
+func (s *selector) block(hb *hop.Block) *Block {
+	switch hb.Kind {
+	case dml.GenericBlock:
+		return s.generic(hb)
+	default:
+		b := &Block{Kind: hb.Kind, Index: -1, Pred: hb.Pred, Var: hb.Var,
+			From: hb.From, To: hb.To, HopBlock: hb, KnownIters: hb.KnownIters,
+			Parallel: hb.Parallel}
+		b.Then = s.blocks(hb.Then)
+		b.Else = s.blocks(hb.Else)
+		if hb.Parallel {
+			// Concurrent parfor workers multiply the number of live
+			// intermediates: operator selection inside the body sees a
+			// proportionally smaller per-worker CP budget ([6]: "the
+			// degree of parallelism affects the number of intermediates").
+			k := s.parforDOP(hb)
+			saved := s.cpBudget
+			s.cpBudget = conf.Bytes(float64(saved) / float64(k))
+			b.Body = s.blocks(hb.Body)
+			s.cpBudget = saved
+		} else {
+			b.Body = s.blocks(hb.Body)
+		}
+		return b
+	}
+}
+
+// parforDOP is the parfor worker count: the CP core count bounded by the
+// trip count.
+func (s *selector) parforDOP(hb *hop.Block) int {
+	k := s.cores
+	if hb.KnownIters != hop.Unknown && hb.KnownIters > 0 && int64(k) > hb.KnownIters {
+		k = int(hb.KnownIters)
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// generic runs operator selection and piggybacking over one block DAG.
+func (s *selector) generic(hb *hop.Block) *Block {
+	b := &Block{Kind: dml.GenericBlock, Index: hb.Index, HopBlock: hb,
+		Recompile: hb.Recompile}
+	mrBudget := s.cc.OpBudget(s.res.MRFor(hb.Index))
+
+	order := topoOrder(hb.Roots)
+	uses := useCounts(order)
+	fused, chains := s.detectChains(order, uses, mrBudget)
+
+	var openJob *MRJob
+	inJob := map[int64]*MRJob{} // hop ID -> producing job
+	closeJob := func() {
+		if openJob != nil {
+			b.Instrs = append(b.Instrs, Instr{Kind: InstrMR, Job: openJob})
+			openJob = nil
+		}
+	}
+
+	for _, h := range order {
+		if fused[h.ID] {
+			continue // consumed by a MapMMChain
+		}
+		if !executes(h) {
+			continue
+		}
+		// Scalar-only and CP-forced operations run in the control program.
+		if s.runsInCP(h) {
+			// A CP instruction consuming an open job's output forces the
+			// job to be emitted first.
+			if openJob != nil && consumesFromJob(h, inJob, openJob) {
+				closeJob()
+			}
+			b.Instrs = append(b.Instrs, Instr{Kind: InstrCP, Hop: h})
+			continue
+		}
+		op := s.physical(h, mrBudget, chains)
+		if openJob == nil || !s.canMerge(openJob, op, inJob, mrBudget) {
+			closeJob()
+			openJob = &MRJob{}
+		}
+		s.addToJob(openJob, op, inJob)
+	}
+	closeJob()
+	return b
+}
+
+// executes reports whether a hop corresponds to a runtime instruction.
+func executes(h *hop.Hop) bool {
+	switch h.Kind {
+	case hop.KindLit, hop.KindTRead, hop.KindRead:
+		return false
+	}
+	return true
+}
+
+// runsInCP applies the execution-type heuristic: in-memory CP operations
+// are assumed cheaper than their distributed counterparts, so an operation
+// runs in CP whenever its memory estimate fits the CP budget.
+func (s *selector) runsInCP(h *hop.Hop) bool {
+	switch h.Kind {
+	case hop.KindTWrite, hop.KindPrint, hop.KindStop, hop.KindWrite:
+		return true
+	case hop.KindSolve, hop.KindCast:
+		// CP-only operators (no distributed implementation).
+		return true
+	}
+	if h.IsScalar() && !hasMatrixInput(h) {
+		return true
+	}
+	return !hop.InfiniteMem(h.OpMem) && s.effectiveOpMem(h.OpMem) <= s.cpBudget
+}
+
+func hasMatrixInput(h *hop.Hop) bool {
+	for _, in := range h.Inputs {
+		if in != nil && in.DataType == hop.Matrix {
+			return true
+		}
+	}
+	return false
+}
+
+func consumesFromJob(h *hop.Hop, inJob map[int64]*MRJob, job *MRJob) bool {
+	for _, in := range h.Inputs {
+		if in != nil && inJob[in.ID] == job {
+			return true
+		}
+	}
+	return false
+}
+
+// topoOrder returns all hops reachable from roots, inputs before consumers.
+func topoOrder(roots []*hop.Hop) []*hop.Hop {
+	var order []*hop.Hop
+	hop.WalkDAG(roots, func(h *hop.Hop) { order = append(order, h) })
+	return order
+}
+
+func useCounts(order []*hop.Hop) map[int64]int {
+	uses := make(map[int64]int)
+	for _, h := range order {
+		for _, in := range h.Inputs {
+			if in != nil {
+				uses[in.ID]++
+			}
+		}
+	}
+	return uses
+}
+
+// chainInfo describes a fused MapMMChain: scan input X, broadcast vector v
+// and optional weight vector w.
+type chainInfo struct {
+	x, v, w *hop.Hop
+}
+
+// detectChains marks the inner hops of t(X) %*% (X %*% v) and
+// t(X) %*% (w * (X %*% v)) patterns that will fuse into a single
+// MapMMChain operator (paper Table 4), and records per chain head the
+// fused operands.
+func (s *selector) detectChains(order []*hop.Hop, uses map[int64]int, mrBudget conf.Bytes) (map[int64]bool, map[int64]chainInfo) {
+	fused := make(map[int64]bool)
+	chains := make(map[int64]chainInfo)
+	for _, h := range order {
+		if h.Kind != hop.KindMatMul || !h.TransA || s.runsInCP(h) {
+			continue
+		}
+		x, right := h.Inputs[0], h.Inputs[1]
+		// Unwrap optional weighting w * (X %*% v).
+		inner := right
+		var w *hop.Hop
+		if inner.Kind == hop.KindBinary && inner.Op == "*" {
+			a, bb := inner.Inputs[0], inner.Inputs[1]
+			if a.Kind == hop.KindMatMul {
+				inner, w = a, bb
+			} else if bb.Kind == hop.KindMatMul {
+				inner, w = bb, a
+			}
+		}
+		if inner.Kind != hop.KindMatMul || inner.TransA || inner.Inputs[0] != x {
+			continue
+		}
+		v := inner.Inputs[1]
+		// The chain is applicable to vector shapes whose broadcasts fit.
+		bcast := v.OutMem
+		if w != nil {
+			bcast += w.OutMem
+		}
+		if hop.InfiniteMem(bcast) || bcast > mrBudget {
+			continue
+		}
+		// Intermediates must be exclusively consumed by the chain.
+		if uses[inner.ID] != 1 {
+			continue
+		}
+		if w != nil && uses[right.ID] != 1 {
+			continue
+		}
+		fused[inner.ID] = true
+		if w != nil {
+			fused[right.ID] = true
+		}
+		chains[h.ID] = chainInfo{x: x, v: v, w: w}
+	}
+	return fused, chains
+}

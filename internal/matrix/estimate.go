@@ -1,0 +1,103 @@
+package matrix
+
+import "elasticml/internal/conf"
+
+// The estimator mirrors the compiler's worst-case memory estimation
+// (paper §2.1 / Appendix B): in-memory size of a matrix given dimensions
+// and sparsity, for dense and CSR representations. These formulas are
+// shared by the HOP memory estimator and the buffer pool.
+
+// denseCellBytes is the per-cell cost of a dense double matrix.
+const denseCellBytes = 8
+
+// sparseCellBytes is the per-non-zero cost of a CSR matrix (8B value + 4B
+// column index) excluding the row-pointer array.
+const sparseCellBytes = 12
+
+// sparseRowBytes is the per-row overhead of CSR (row pointer).
+const sparseRowBytes = 8
+
+// EstimateSize returns the in-memory size of a rows x cols matrix with the
+// given sparsity, choosing the cheaper of dense and sparse representation
+// subject to the sparsity threshold (as the runtime would).
+func EstimateSize(rows, cols int64, sparsity float64) conf.Bytes {
+	if rows <= 0 || cols <= 0 {
+		return 0
+	}
+	if sparsity < 0 {
+		sparsity = 0
+	}
+	if sparsity > 1 {
+		sparsity = 1
+	}
+	dense := DenseSize(rows, cols)
+	if sparsity < SparsityThreshold && cols > 1 {
+		sp := SparseSize(rows, cols, sparsity)
+		if sp < dense {
+			return sp
+		}
+	}
+	return dense
+}
+
+// DenseSize returns the in-memory size of a dense rows x cols matrix.
+func DenseSize(rows, cols int64) conf.Bytes {
+	return conf.Bytes(rows * cols * denseCellBytes)
+}
+
+// SparseSize returns the in-memory size of a CSR rows x cols matrix with
+// the given sparsity.
+func SparseSize(rows, cols int64, sparsity float64) conf.Bytes {
+	nnz := float64(rows) * float64(cols) * sparsity
+	return conf.Bytes(nnz*sparseCellBytes) + conf.Bytes(rows*sparseRowBytes)
+}
+
+// InMemorySize returns the actual in-memory footprint of the matrix.
+func (m *Matrix) InMemorySize() conf.Bytes {
+	if m.sp != nil {
+		return conf.Bytes(m.sp.nnz()*sparseCellBytes) + conf.Bytes(int64(m.rows)*sparseRowBytes)
+	}
+	return conf.Bytes(int64(len(m.dense)) * denseCellBytes)
+}
+
+// MulSparsity estimates the output sparsity of a matrix multiply with input
+// sparsities s1, s2 over common dimension k, using the standard
+// no-cancellation independence assumption 1 - (1 - s1*s2)^k.
+func MulSparsity(s1, s2 float64, k int64) float64 {
+	if s1 >= 1 && s2 >= 1 {
+		return 1
+	}
+	p := s1 * s2
+	if p <= 0 {
+		return 0
+	}
+	// 1-(1-p)^k without overflow for large k: use expm1/log1p.
+	if float64(k)*p > 32 {
+		return 1
+	}
+	est := 1.0
+	q := 1 - p
+	for i := int64(0); i < k && est > 1e-12; i++ {
+		est *= q
+		if k > 64 {
+			// Closed form is fine for large k.
+			break
+		}
+	}
+	if k > 64 {
+		return 1 - pow(q, k)
+	}
+	return 1 - est
+}
+
+func pow(q float64, k int64) float64 {
+	r := 1.0
+	for k > 0 {
+		if k&1 == 1 {
+			r *= q
+		}
+		q *= q
+		k >>= 1
+	}
+	return r
+}

@@ -1,0 +1,40 @@
+package matrix
+
+import "math/rand"
+
+// Random generates a rows x cols matrix with the given sparsity whose
+// non-zero cells are drawn uniformly from [min, max), using the provided
+// seed for reproducible workloads (DML's rand builtin).
+func Random(rows, cols int, sparsity, min, max float64, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	if sparsity >= SparsityThreshold || cols == 1 {
+		out := NewDense(rows, cols)
+		for i := range out.dense {
+			if sparsity >= 1 || rng.Float64() < sparsity {
+				out.dense[i] = min + rng.Float64()*(max-min)
+			}
+		}
+		return out
+	}
+	out := newCSR(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < sparsity {
+				out.appendCell(i, j, min+rng.Float64()*(max-min))
+			}
+		}
+	}
+	out.finish()
+	return &Matrix{rows: rows, cols: cols, sp: out}
+}
+
+// RandomLabels generates an n x 1 vector of integer class labels in
+// [1, classes], used for classification workloads.
+func RandomLabels(n, classes int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	out := NewDense(n, 1)
+	for i := range out.dense {
+		out.dense[i] = float64(1 + rng.Intn(classes))
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve returns x with A x = b using Gaussian elimination with partial
+// pivoting; A must be square and b a matching column-vector (or multi-RHS)
+// matrix. This backs the DML builtin solve() used by direct-solve linear
+// regression (A = t(X)%*%X, b = t(X)%*%y).
+func Solve(a, b *Matrix) (*Matrix, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("matrix: solve requires square A, got %dx%d", a.rows, a.cols)
+	}
+	if b.rows != n {
+		return nil, fmt.Errorf("matrix: solve RHS rows %d != %d", b.rows, n)
+	}
+	// Work on dense copies.
+	lu := a.ToDense().Clone()
+	x := b.ToDense().Clone()
+	m := x.cols
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, pval := col, math.Abs(lu.dense[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if av := math.Abs(lu.dense[r*n+col]); av > pval {
+				piv, pval = r, av
+			}
+		}
+		if pval < 1e-12 {
+			return nil, fmt.Errorf("matrix: singular system at column %d", col)
+		}
+		if piv != col {
+			swapRows(lu.dense, n, piv, col)
+			swapRows(x.dense, m, piv, col)
+		}
+		d := lu.dense[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := lu.dense[r*n+col] / d
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				lu.dense[r*n+c] -= f * lu.dense[col*n+c]
+			}
+			for c := 0; c < m; c++ {
+				x.dense[r*m+c] -= f * x.dense[col*m+c]
+			}
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		d := lu.dense[col*n+col]
+		for c := 0; c < m; c++ {
+			s := x.dense[col*m+c]
+			for k := col + 1; k < n; k++ {
+				s -= lu.dense[col*n+k] * x.dense[k*m+c]
+			}
+			x.dense[col*m+c] = s / d
+		}
+	}
+	return x, nil
+}
+
+func swapRows(d []float64, stride, r1, r2 int) {
+	for c := 0; c < stride; c++ {
+		d[r1*stride+c], d[r2*stride+c] = d[r2*stride+c], d[r1*stride+c]
+	}
+}

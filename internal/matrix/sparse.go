@@ -1,0 +1,117 @@
+package matrix
+
+// csr is a compressed sparse row representation: rowPtr has rows+1 entries;
+// colIdx/vals hold the column indices and values of each row's non-zeros in
+// ascending column order.
+type csr struct {
+	nrows, ncols int
+	rowPtr       []int64
+	colIdx       []int
+	vals         []float64
+}
+
+func newCSR(rows, cols int) *csr {
+	return &csr{nrows: rows, ncols: cols, rowPtr: make([]int64, rows+1)}
+}
+
+func (s *csr) nnz() int64 { return int64(len(s.vals)) }
+
+func (s *csr) clone() *csr {
+	c := &csr{
+		nrows:  s.nrows,
+		ncols:  s.ncols,
+		rowPtr: make([]int64, len(s.rowPtr)),
+		colIdx: make([]int, len(s.colIdx)),
+		vals:   make([]float64, len(s.vals)),
+	}
+	copy(c.rowPtr, s.rowPtr)
+	copy(c.colIdx, s.colIdx)
+	copy(c.vals, s.vals)
+	return c
+}
+
+// appendCell adds a non-zero during in-order construction: cells must be
+// appended with non-decreasing row index and, within a row, ascending column
+// index. finish() must be called once construction completes.
+func (s *csr) appendCell(i, j int, v float64) {
+	if v == 0 {
+		return
+	}
+	s.colIdx = append(s.colIdx, j)
+	s.vals = append(s.vals, v)
+	s.rowPtr[i+1]++
+}
+
+// finish converts per-row counts accumulated by appendCell into prefix sums.
+func (s *csr) finish() {
+	for i := 1; i < len(s.rowPtr); i++ {
+		s.rowPtr[i] += s.rowPtr[i-1]
+	}
+}
+
+func (s *csr) at(i, j int) float64 {
+	lo, hi := s.rowPtr[i], s.rowPtr[i+1]
+	// Binary search within the row.
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case s.colIdx[mid] == j:
+			return s.vals[mid]
+		case s.colIdx[mid] < j:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return 0
+}
+
+// set updates or inserts a cell; insertion shifts the tail and is O(nnz).
+func (s *csr) set(i, j int, v float64) {
+	lo, hi := s.rowPtr[i], s.rowPtr[i+1]
+	pos := lo
+	for pos < hi && s.colIdx[pos] < j {
+		pos++
+	}
+	if pos < hi && s.colIdx[pos] == j {
+		if v == 0 {
+			// Delete the entry.
+			s.colIdx = append(s.colIdx[:pos], s.colIdx[pos+1:]...)
+			s.vals = append(s.vals[:pos], s.vals[pos+1:]...)
+			for r := i + 1; r < len(s.rowPtr); r++ {
+				s.rowPtr[r]--
+			}
+			return
+		}
+		s.vals[pos] = v
+		return
+	}
+	if v == 0 {
+		return
+	}
+	s.colIdx = append(s.colIdx, 0)
+	copy(s.colIdx[pos+1:], s.colIdx[pos:])
+	s.colIdx[pos] = j
+	s.vals = append(s.vals, 0)
+	copy(s.vals[pos+1:], s.vals[pos:])
+	s.vals[pos] = v
+	for r := i + 1; r < len(s.rowPtr); r++ {
+		s.rowPtr[r]++
+	}
+}
+
+// each calls fn for every stored non-zero in row-major order.
+func (s *csr) each(fn func(i, j int, v float64)) {
+	for i := 0; i < s.nrows; i++ {
+		for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
+			fn(i, s.colIdx[p], s.vals[p])
+		}
+	}
+}
+
+// eachRow calls fn for every stored non-zero of row i.
+func (s *csr) eachRow(i int, fn func(j int, v float64)) {
+	for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
+		fn(s.colIdx[p], s.vals[p])
+	}
+}

@@ -1,0 +1,161 @@
+// Package mesos implements the offer-based problem instantiation of the
+// resource allocation problem (paper §2.3): "For offer-based resource
+// allocation as used in Mesos, we are also interested in the optimal
+// resource allocation R*_P but have additional optimization decisions in
+// case of non-matching offers."
+//
+// A Mesos-style master pushes resource offers (per-agent memory) to the
+// framework; the framework cannot request arbitrary container sizes, it
+// can only accept or decline what is offered. The scheduler here combines
+// the core resource optimizer with the offer decision: accept the smallest
+// sufficient offer for R*_P's master container; if no offer matches,
+// re-optimize *constrained to the offered resources* and compare the
+// constrained plan against the estimated cost of declining and waiting for
+// better offers.
+package mesos
+
+import (
+	"fmt"
+	"sort"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/hop"
+	"elasticml/internal/opt"
+)
+
+// Offer is one resource offer from the master: memory on a single agent.
+type Offer struct {
+	ID    int64
+	Agent int
+	Mem   conf.Bytes
+}
+
+// Decision is the framework's response to an offer round.
+type Decision struct {
+	// Decline indicates all offers were declined (waiting is cheaper).
+	Decline bool
+	// Accepted is the offer chosen for the master (CP) container.
+	Accepted Offer
+	// Res is the resource configuration the program will run with. When
+	// the preferred R*_P did not match any offer, this is the best
+	// configuration feasible within the offered resources.
+	Res conf.Resources
+	// Cost is the estimated execution time under Res.
+	Cost float64
+	// Constrained reports that Res was re-optimized under offer
+	// constraints rather than the cluster-wide optimum.
+	Constrained bool
+}
+
+// Scheduler makes offer decisions for ML programs.
+type Scheduler struct {
+	// CC is the underlying cluster configuration (capacity, block size).
+	CC conf.Cluster
+	// Opt configures the embedded resource optimizer.
+	Opt opt.Options
+	// WaitPenalty is the estimated seconds of delay incurred by declining
+	// an offer round and waiting for better offers.
+	WaitPenalty float64
+}
+
+// NewScheduler returns a scheduler with default optimizer options and a
+// one-minute wait penalty.
+func NewScheduler(cc conf.Cluster) *Scheduler {
+	return &Scheduler{CC: cc, Opt: opt.DefaultOptions(), WaitPenalty: 60}
+}
+
+// Decide evaluates an offer round for the program: it computes the
+// unconstrained optimum R*_P, tries to place its master container on the
+// smallest sufficient offer, and otherwise weighs a constrained
+// re-optimization against declining.
+func (s *Scheduler) Decide(hp *hop.Program, offers []Offer) (Decision, error) {
+	if len(offers) == 0 {
+		return Decision{Decline: true}, nil
+	}
+	o := &opt.Optimizer{CC: s.CC, Opts: s.Opt}
+	want := o.Optimize(hp)
+	if want == nil {
+		return Decision{}, fmt.Errorf("mesos: optimization yielded no configuration")
+	}
+
+	// Accept the smallest offer that covers the preferred master container
+	// (minimality prevents hoarding offered resources).
+	need := s.CC.ContainerSize(want.Res.CP)
+	sorted := append([]Offer{}, offers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Mem < sorted[j].Mem })
+	for _, of := range sorted {
+		if of.Mem >= need {
+			return Decision{Accepted: of, Res: want.Res, Cost: want.Cost}, nil
+		}
+	}
+
+	// Non-matching offers: re-optimize with the allocation ceiling clamped
+	// to the largest offer, then compare against waiting.
+	largest := sorted[len(sorted)-1]
+	ccConstrained := s.CC
+	if largest.Mem < ccConstrained.MaxAlloc {
+		ccConstrained.MaxAlloc = largest.Mem
+	}
+	oc := &opt.Optimizer{CC: ccConstrained, Opts: s.Opt}
+	constrained := oc.Optimize(hp)
+	if constrained == nil {
+		return Decision{Decline: true}, nil
+	}
+	if constrained.Cost <= want.Cost+s.WaitPenalty {
+		return Decision{
+			Accepted:    largest,
+			Res:         constrained.Res,
+			Cost:        constrained.Cost,
+			Constrained: true,
+		}, nil
+	}
+	return Decision{Decline: true}, nil
+}
+
+// Master is a minimal offer-generating master for tests and examples: it
+// tracks per-agent free memory and emits one offer per agent with capacity.
+type Master struct {
+	free []conf.Bytes
+	next int64
+}
+
+// NewMaster returns a master over the cluster's worker agents.
+func NewMaster(cc conf.Cluster) *Master {
+	free := make([]conf.Bytes, cc.Nodes)
+	for i := range free {
+		free[i] = cc.MemPerNode
+	}
+	return &Master{free: free}
+}
+
+// Offers returns the current offer round (one offer per agent with free
+// memory).
+func (m *Master) Offers() []Offer {
+	var out []Offer
+	for agent, mem := range m.free {
+		if mem > 0 {
+			m.next++
+			out = append(out, Offer{ID: m.next, Agent: agent, Mem: mem})
+		}
+	}
+	return out
+}
+
+// Accept consumes memory from the offer's agent.
+func (m *Master) Accept(of Offer, mem conf.Bytes) error {
+	if of.Agent < 0 || of.Agent >= len(m.free) {
+		return fmt.Errorf("mesos: unknown agent %d", of.Agent)
+	}
+	if mem > m.free[of.Agent] {
+		return fmt.Errorf("mesos: accepting %v exceeds agent %d free %v", mem, of.Agent, m.free[of.Agent])
+	}
+	m.free[of.Agent] -= mem
+	return nil
+}
+
+// Release returns memory to an agent.
+func (m *Master) Release(agent int, mem conf.Bytes) {
+	if agent >= 0 && agent < len(m.free) {
+		m.free[agent] += mem
+	}
+}

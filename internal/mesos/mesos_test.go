@@ -1,0 +1,151 @@
+package mesos
+
+import (
+	"testing"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/datagen"
+	"elasticml/internal/dml"
+	"elasticml/internal/hdfs"
+	"elasticml/internal/hop"
+	"elasticml/internal/scripts"
+)
+
+func compileFor(t *testing.T, spec scripts.Spec, size string, cols int64) *hop.Program {
+	t.Helper()
+	fs := hdfs.New()
+	datagen.Describe(fs, datagen.New(size, cols, 1.0))
+	prog, err := dml.Parse(spec.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := hop.NewCompiler(fs, spec.Params).Compile(prog, spec.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hp
+}
+
+func TestAcceptSmallestSufficientOffer(t *testing.T) {
+	cc := conf.DefaultCluster()
+	s := NewScheduler(cc)
+	s.Opt.Points = 7
+	hp := compileFor(t, scripts.LinregCG(), "M", 1000) // wants ~11GB CP
+	offers := []Offer{
+		{ID: 1, Agent: 0, Mem: 80 * conf.GB},
+		{ID: 2, Agent: 1, Mem: 20 * conf.GB},
+		{ID: 3, Agent: 2, Mem: 4 * conf.GB},
+	}
+	dec, err := s.Decide(hp, offers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Decline || dec.Constrained {
+		t.Fatalf("matching offers should be accepted unconstrained: %+v", dec)
+	}
+	// The 20GB offer suffices for an ~11GB CP container; the 80GB offer
+	// must not be hoarded.
+	if dec.Accepted.ID != 2 {
+		t.Errorf("accepted offer %d, want the smallest sufficient (2)", dec.Accepted.ID)
+	}
+}
+
+func TestNonMatchingOffersReoptimizeConstrained(t *testing.T) {
+	cc := conf.DefaultCluster()
+	s := NewScheduler(cc)
+	s.Opt.Points = 7
+	s.WaitPenalty = 1e9 // waiting effectively forbidden
+	hp := compileFor(t, scripts.LinregCG(), "M", 1000)
+	// Only small offers: the preferred large-CP config cannot be placed.
+	offers := []Offer{
+		{ID: 1, Agent: 0, Mem: 4 * conf.GB},
+		{ID: 2, Agent: 1, Mem: 6 * conf.GB},
+	}
+	dec, err := s.Decide(hp, offers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Decline {
+		t.Fatal("with a prohibitive wait penalty the scheduler must run constrained")
+	}
+	if !dec.Constrained {
+		t.Error("decision should be marked constrained")
+	}
+	if cc.ContainerSize(dec.Res.CP) > 6*conf.GB {
+		t.Errorf("constrained config %v does not fit the largest offer", dec.Res)
+	}
+}
+
+func TestDeclineWhenWaitingIsCheaper(t *testing.T) {
+	cc := conf.DefaultCluster()
+	s := NewScheduler(cc)
+	s.Opt.Points = 7
+	s.WaitPenalty = 0 // any constrained slowdown beats waiting zero seconds
+	hp := compileFor(t, scripts.LinregCG(), "M", 1000)
+	offers := []Offer{{ID: 1, Agent: 0, Mem: conf.GB}}
+	dec, err := s.Decide(hp, offers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Decline {
+		t.Errorf("zero wait penalty should decline tiny offers, got %+v", dec)
+	}
+}
+
+func TestEmptyOfferRound(t *testing.T) {
+	s := NewScheduler(conf.DefaultCluster())
+	dec, err := s.Decide(nil, nil)
+	if err != nil || !dec.Decline {
+		t.Errorf("empty round should decline: %+v, %v", dec, err)
+	}
+}
+
+func TestMasterAccounting(t *testing.T) {
+	cc := conf.DefaultCluster()
+	m := NewMaster(cc)
+	offers := m.Offers()
+	if len(offers) != cc.Nodes {
+		t.Fatalf("offers = %d, want %d", len(offers), cc.Nodes)
+	}
+	if err := m.Accept(offers[0], 30*conf.GB); err != nil {
+		t.Fatal(err)
+	}
+	// Next round's offer from that agent shrinks.
+	round2 := m.Offers()
+	if round2[0].Mem != cc.MemPerNode-30*conf.GB {
+		t.Errorf("agent 0 offer = %v", round2[0].Mem)
+	}
+	if err := m.Accept(round2[0], 100*conf.GB); err == nil {
+		t.Error("over-acceptance should fail")
+	}
+	m.Release(0, 30*conf.GB)
+	if m.Offers()[0].Mem != cc.MemPerNode {
+		t.Error("release not accounted")
+	}
+}
+
+// End-to-end: master/scheduler loop places two programs on the cluster.
+func TestOfferLoopPlacesPrograms(t *testing.T) {
+	cc := conf.DefaultCluster()
+	m := NewMaster(cc)
+	s := NewScheduler(cc)
+	s.Opt.Points = 7
+	placed := 0
+	for i := 0; i < 2; i++ {
+		hp := compileFor(t, scripts.LinregCG(), "M", 1000)
+		dec, err := s.Decide(hp, m.Offers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Decline {
+			t.Fatalf("placement %d declined unexpectedly", i)
+		}
+		if err := m.Accept(dec.Accepted, cc.ContainerSize(dec.Res.CP)); err != nil {
+			t.Fatal(err)
+		}
+		placed++
+	}
+	if placed != 2 {
+		t.Errorf("placed %d programs, want 2", placed)
+	}
+}

@@ -1,0 +1,78 @@
+package opt
+
+import (
+	"testing"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/cost"
+	"elasticml/internal/lop"
+	"elasticml/internal/scripts"
+)
+
+// TestCoreEnumerationNeverHurts: adding the core dimension can only find
+// equal-or-better configurations.
+func TestCoreEnumerationNeverHurts(t *testing.T) {
+	hp := compileHP(t, scripts.LinregDS(), 1_000_000, 1000, 1.0)
+	cc := conf.DefaultCluster()
+	single := New(cc)
+	single.Opts.Points = 7
+	a := single.Optimize(hp)
+	multi := New(cc)
+	multi.Opts.Points = 7
+	multi.Opts.CPCoreCandidates = []int{1, 4, 12}
+	b := multi.Optimize(hp)
+	if b.Cost > a.Cost+1e-9 {
+		t.Errorf("core enumeration worsened cost: %.2f > %.2f", b.Cost, a.Cost)
+	}
+}
+
+// TestMultiCoreCPSpeedsUpComputeBound: a compute-bound single-node plan
+// gets faster with more CP cores in both model and plan selection.
+func TestMultiCoreCPSpeedsUpComputeBound(t *testing.T) {
+	hp := compileHP(t, scripts.LinregDS(), 1_000_000, 1000, 1.0)
+	cc := conf.DefaultCluster()
+	est := cost.NewEstimator(cc)
+	res1 := conf.NewResources(conf.BytesOfGB(53.3), 2*conf.GB, hp.NumLeaf)
+	res12 := res1.Clone()
+	res12.CPCores = 12
+	c1 := est.ProgramCost(lop.Select(hp, cc, res1))
+	c12 := est.ProgramCost(lop.Select(hp, cc, res12))
+	if c12 >= c1 {
+		t.Errorf("12-core CP (%.1fs) should beat 1-core (%.1fs) on TSMM-bound DS", c12, c1)
+	}
+	// The speedup is bounded by Amdahl (IO does not parallelize here).
+	if c12 < c1/12 {
+		t.Errorf("speedup %.1fx exceeds core count", c1/c12)
+	}
+}
+
+// TestMemoryInflationShiftsOperatorSelection: with multi-threading, an
+// operation that barely fits the single-threaded budget falls back to MR.
+func TestMemoryInflationShiftsOperatorSelection(t *testing.T) {
+	hp := compileHP(t, scripts.LinregCG(), 1_000_000, 1000, 1.0) // X = 8e9
+	cc := conf.DefaultCluster()
+	// 10.7GB heap: budget 7.49GiB barely covers X (7.45GiB) single threaded.
+	res := conf.NewResources(conf.BytesOfGB(10.7), 2*conf.GB, hp.NumLeaf)
+	singleJobs := lop.NumMRJobs(lop.Select(hp, cc, res).Blocks)
+	res12 := res.Clone()
+	res12.CPCores = 12
+	multiJobs := lop.NumMRJobs(lop.Select(hp, cc, res12).Blocks)
+	if multiJobs <= singleJobs {
+		t.Errorf("memory inflation should push borderline ops to MR: %d <= %d jobs",
+			multiJobs, singleJobs)
+	}
+}
+
+// TestCoresDefaultSingleThreaded: the zero value behaves like the paper's
+// single-threaded CP.
+func TestCoresDefaultSingleThreaded(t *testing.T) {
+	r := conf.Resources{CP: conf.GB}
+	if r.Cores() != 1 {
+		t.Errorf("Cores() = %d, want 1", r.Cores())
+	}
+	r.CPCores = 8
+	c := r.Clone()
+	if c.Cores() != 8 {
+		t.Errorf("Clone dropped CPCores: %d", c.Cores())
+	}
+}

@@ -1,0 +1,66 @@
+package opt
+
+import (
+	"testing"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/cost"
+	"elasticml/internal/lop"
+	"elasticml/internal/scripts"
+)
+
+// TestClusterLoadShiftsTowardSingleNode reproduces the §6 scenario:
+// "consider scenarios where we decided to use distributed plans in order
+// to exploit full cluster parallelism but the cluster is heavily loaded.
+// In those situations, a fallback to single node in-memory computation
+// might be beneficial."
+func TestClusterLoadShiftsTowardSingleNode(t *testing.T) {
+	cc := conf.DefaultCluster()
+	// LinregDS dense1000 M: on an idle cluster the compute-bound TSMM
+	// prefers the distributed plan with small CP.
+	hp := compileHP(t, scripts.LinregDS(), 1_000_000, 1000, 1.0)
+
+	idle := New(cc)
+	idle.Opts.Points = 7
+	idleRes := idle.Optimize(hp)
+
+	loaded := New(cc)
+	loaded.Opts.Points = 7
+	loaded.Opts.ClusterLoad = 0.84 // only ~1 node's worth of MR capacity left
+	loadedRes := loaded.Optimize(hp)
+
+	if cc.OpBudget(idleRes.Res.CP) >= conf.Bytes(8e9) {
+		t.Fatalf("idle cluster should prefer distributed DS (small CP), got %v", idleRes.Res)
+	}
+	// The loaded-cluster optimum must cost more than the idle optimum
+	// (fewer effective nodes), and re-optimizing for the load must be at
+	// least as good as blindly running the idle-optimal configuration.
+	if loadedRes.Cost <= idleRes.Cost {
+		t.Errorf("loaded optimum (%.1f) should cost more than idle optimum (%.1f)",
+			loadedRes.Cost, idleRes.Cost)
+	}
+	loadedEst := cost.NewEstimator(cc)
+	loadedEst.AvailableFraction = 1 - 0.84
+	idleChoiceUnderLoad := loadedEst.ProgramCost(lop.Select(hp, cc, idleRes.Res))
+	if loadedRes.Cost > idleChoiceUnderLoad+1e-9 {
+		t.Errorf("load-aware re-optimization (%.1f) lost to the idle choice under load (%.1f)",
+			loadedRes.Cost, idleChoiceUnderLoad)
+	}
+}
+
+// TestClusterLoadIgnoredWhenIdle: load 0 and 1.0+ degenerate to the idle
+// model.
+func TestClusterLoadIgnoredWhenIdle(t *testing.T) {
+	cc := conf.DefaultCluster()
+	hp := compileHP(t, scripts.LinregCG(), 1_000_000, 1000, 1.0)
+	base := New(cc)
+	base.Opts.Points = 7
+	a := base.Optimize(hp)
+	zero := New(cc)
+	zero.Opts.Points = 7
+	zero.Opts.ClusterLoad = 0
+	b := zero.Optimize(hp)
+	if a.Cost != b.Cost {
+		t.Errorf("load 0 changed cost: %v vs %v", a.Cost, b.Cost)
+	}
+}

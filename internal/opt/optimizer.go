@@ -1,0 +1,307 @@
+package opt
+
+import (
+	"time"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/cost"
+	"elasticml/internal/hop"
+	"elasticml/internal/lop"
+)
+
+// Options configure the optimizer.
+type Options struct {
+	// GridCP / GridMR select the per-dimension grid generators (the
+	// default hybrid combines directed and systematic search).
+	GridCP, GridMR GridType
+	// Points is the base-grid point count m per dimension (default 15).
+	Points int
+	// DisablePruning turns off the block pruning of §3.4 (ablation).
+	DisablePruning bool
+	// Workers > 1 enables the task-parallel optimizer (Appendix C).
+	Workers int
+	// CPCoreCandidates enumerates the CP core count as an additional
+	// search dimension (§6 "Additional Resources Beyond Memory"):
+	// multi-threaded CP compute divides by the core count while memory
+	// estimates inflate (lop.MultiThreadMemFactor). Empty means the
+	// paper's single-threaded CP.
+	CPCoreCandidates []int
+	// TimeBudget bounds optimization time; zero means unbounded. When the
+	// budget is exceeded, the best configuration found so far is returned.
+	TimeBudget time.Duration
+	// ClusterLoad in [0,1) models current cluster utilization for
+	// utilization-based adaptation (§6): MR jobs see only the remaining
+	// fraction of worker nodes, which shifts optimal plans toward
+	// single-node in-memory execution on loaded clusters.
+	ClusterLoad float64
+}
+
+// newEstimator builds a cost estimator honoring the cluster-load option.
+func (o *Optimizer) newEstimator() *cost.Estimator {
+	est := cost.NewEstimator(o.CC)
+	if o.Opts.ClusterLoad > 0 && o.Opts.ClusterLoad < 1 {
+		est.AvailableFraction = 1 - o.Opts.ClusterLoad
+	}
+	return est
+}
+
+// DefaultOptions returns the paper's default configuration: hybrid grids
+// with m=15 and sequential enumeration.
+func DefaultOptions() Options {
+	return Options{GridCP: GridHybrid, GridMR: GridHybrid, Points: 15, Workers: 1}
+}
+
+// Stats reports the optimization effort (Table 3 columns).
+type Stats struct {
+	// BlockCompilations counts per-block plan generations.
+	BlockCompilations int
+	// Costings counts cost-model invocations (costing the entire program
+	// counts as one).
+	Costings int
+	// OptTime is the wall-clock optimization time.
+	OptTime time.Duration
+	// CPPoints / MRPoints are the enumerated grid sizes.
+	CPPoints, MRPoints int
+	// TotalBlocks / RemainingBlocks quantify pruning effectiveness
+	// (Figure 14): remaining = blocks whose MR dimension was enumerated,
+	// maximized over CP grid points.
+	TotalBlocks, RemainingBlocks int
+}
+
+// Result is an optimization outcome.
+type Result struct {
+	// Res is the near-optimal resource configuration R*_P.
+	Res conf.Resources
+	// Cost is the estimated program execution time under Res.
+	Cost float64
+	// Stats reports the optimization effort.
+	Stats Stats
+}
+
+// Optimizer finds near-optimal resource configurations via online what-if
+// analysis: for every enumerated configuration it lets the compiler
+// generate the runtime plan and costs it, so every memory-sensitive
+// compilation step is reflected (robustness by construction, §2.4).
+type Optimizer struct {
+	CC   conf.Cluster
+	Opts Options
+}
+
+// New returns an optimizer with default options.
+func New(cc conf.Cluster) *Optimizer {
+	return &Optimizer{CC: cc, Opts: DefaultOptions()}
+}
+
+// Optimize solves the resource allocation problem for the program.
+func (o *Optimizer) Optimize(hp *hop.Program) *Result {
+	global, _ := o.optimize(hp, 0)
+	return global
+}
+
+// OptimizeWithCurrent additionally reports the best configuration under the
+// fixed current CP heap (R*_P | r_c), used by runtime re-optimization to
+// compare against migration (§4.2).
+func (o *Optimizer) OptimizeWithCurrent(hp *hop.Program, currentCP conf.Bytes) (global, local *Result) {
+	return o.optimize(hp, currentCP)
+}
+
+// memoEntry is one row of the memoization structure: the best MR heap found
+// for a block and its cost (Algorithm 1).
+type memoEntry struct {
+	ri   conf.Bytes
+	cost float64
+}
+
+func (o *Optimizer) optimize(hp *hop.Program, currentCP conf.Bytes) (*Result, *Result) {
+	start := time.Now()
+	src := EnumGridPoints(hp, o.CC, o.Opts.GridCP, o.Opts.Points)
+	srm := EnumGridPoints(hp, o.CC, o.Opts.GridMR, o.Opts.Points)
+	if currentCP > 0 {
+		src = dedupeSorted(append(src, currentCP))
+	}
+	stats := Stats{CPPoints: len(src), MRPoints: len(srm), TotalBlocks: hp.NumLeaf}
+
+	coreCands := o.Opts.CPCoreCandidates
+	if len(coreCands) == 0 {
+		coreCands = []int{1}
+	}
+
+	var best, bestLocal *Result
+
+	deadline := time.Time{}
+	if o.Opts.TimeBudget > 0 {
+		deadline = start.Add(o.Opts.TimeBudget)
+	}
+
+	for _, cores := range coreCands {
+		// Monotonic dependency elimination: once a block lost its MR jobs
+		// at some CP size, larger CP sizes never reintroduce them (§3.4).
+		// The property holds per core count (memory inflation shifts the
+		// thresholds).
+		prunedForever := make([]bool, hp.NumLeaf)
+		if o.Opts.Workers > 1 {
+			b, bl := o.optimizeParallel(hp, src, srm, currentCP, cores, &stats, prunedForever, deadline)
+			if b != nil {
+				best = better(best, b)
+			}
+			if bl != nil && bestLocal == nil {
+				bestLocal = bl
+			}
+			continue
+		}
+		est := o.newEstimator()
+		for _, rc := range src {
+			// At least one configuration is always evaluated, even when
+			// the time budget is already exhausted.
+			if best != nil && !deadline.IsZero() && time.Now().After(deadline) {
+				break
+			}
+			res, cand := o.evalCP(hp, rc, cores, srm, est, &stats, prunedForever, nil)
+			best = better(best, &Result{Res: res, Cost: cand})
+			if currentCP > 0 && rc == currentCP && (bestLocal == nil || cand < bestLocal.Cost) {
+				bestLocal = &Result{Res: res, Cost: cand}
+			}
+		}
+		stats.Costings += est.Invocations
+	}
+	stats.OptTime = time.Since(start)
+	if best != nil {
+		best.Stats = stats
+	}
+	if bestLocal != nil {
+		bestLocal.Stats = stats
+	}
+	return best, bestLocal
+}
+
+// evalCP evaluates one CP grid point: baseline compilation at minimal MR
+// resources, pruning, per-block MR enumeration with memoization, and a
+// final whole-program costing under the memoized vector (Algorithm 1,
+// lines 5-17). blockHook, when non-nil, runs the per-block enumeration
+// through the parallel task queue.
+func (o *Optimizer) evalCP(hp *hop.Program, rc conf.Bytes, cores int, srm []conf.Bytes,
+	est *cost.Estimator, stats *Stats, prunedForever []bool,
+	blockHook func(tasks []blockTask) []memoEntry) (conf.Resources, float64) {
+
+	n := hp.NumLeaf
+	minH := o.CC.MinHeap()
+	baseline := lop.Select(hp, o.CC, withCores(conf.NewResources(rc, minH, n), cores))
+	stats.BlockCompilations += countBlocks(baseline)
+
+	memo := make([]memoEntry, n)
+	leaves := baseline.LeafBlocks()
+	var tasks []blockTask
+	remaining := 0
+	for i, lb := range leaves {
+		memo[i] = memoEntry{ri: minH, cost: est.BlockCost(lb, withCores(conf.NewResources(rc, minH, 1), cores))}
+		if !o.Opts.DisablePruning {
+			if prunedForever[i] {
+				continue
+			}
+			if pruneBlock(lb) {
+				if lop.NumMRJobs([]*lop.Block{lb}) == 0 {
+					prunedForever[i] = true
+				}
+				continue
+			}
+		}
+		remaining++
+		tasks = append(tasks, blockTask{idx: i, hb: lb.HopBlock, rc: rc, cores: cores})
+	}
+	if remaining > stats.RemainingBlocks {
+		stats.RemainingBlocks = remaining
+	}
+
+	if blockHook != nil {
+		results := blockHook(tasks)
+		for k, t := range tasks {
+			if results[k].cost < memo[t.idx].cost {
+				memo[t.idx] = results[k]
+			}
+		}
+	} else {
+		for _, t := range tasks {
+			entry := o.enumBlock(t, srm, est, stats)
+			if entry.cost < memo[t.idx].cost {
+				memo[t.idx] = entry
+			}
+		}
+	}
+
+	// Whole-program compilation under the memoized vector, taking the
+	// control structure (loops, branches) into account.
+	resVec := conf.Resources{CP: rc, MR: make([]conf.Bytes, n), CPCores: cores}
+	for i := range memo {
+		resVec.MR[i] = memo[i].ri
+	}
+	full := lop.Select(hp, o.CC, resVec)
+	stats.BlockCompilations += countBlocks(full)
+	return resVec, est.ProgramCost(full)
+}
+
+// enumBlock evaluates the second dimension for one block under fixed rc.
+func (o *Optimizer) enumBlock(t blockTask, srm []conf.Bytes, est *cost.Estimator, stats *Stats) memoEntry {
+	best := memoEntry{cost: -1}
+	for _, ri := range srm {
+		res := withCores(conf.NewResources(t.rc, ri, 1), t.cores)
+		lb := lop.SelectBlock(t.hb, o.CC, res)
+		stats.BlockCompilations++
+		c := est.BlockCost(lb, res)
+		if best.cost < 0 || c < best.cost {
+			best = memoEntry{ri: ri, cost: c}
+		}
+	}
+	return best
+}
+
+type blockTask struct {
+	idx   int
+	hb    *hop.Block
+	rc    conf.Bytes
+	cores int
+}
+
+func withCores(r conf.Resources, cores int) conf.Resources {
+	r.CPCores = cores
+	return r
+}
+
+// better keeps the candidate with strictly lower cost; ties keep the
+// earlier (ascending enumeration => minimal) configuration, implementing
+// the min() over arg-min of Definition 1 and preventing over-provisioning.
+func better(best, cand *Result) *Result {
+	if best == nil || cand.Cost < best.Cost {
+		return cand
+	}
+	return best
+}
+
+func countBlocks(p *lop.Plan) int {
+	n := 0
+	lop.WalkBlocks(p.Blocks, func(*lop.Block) { n++ })
+	return n
+}
+
+// pruneBlock reports whether a block's cost is guaranteed independent of
+// its MR resources (§3.4): either it contains no MR jobs under the
+// baseline compilation, or all its MR operations have unknown dimensions
+// (no plan change can be costed differently).
+func pruneBlock(lb *lop.Block) bool {
+	jobs := 0
+	allUnknown := true
+	for _, in := range lb.Instrs {
+		if in.Kind != lop.InstrMR {
+			continue
+		}
+		jobs++
+		for _, op := range in.Job.Ops {
+			if op.Hop.DimsKnown() {
+				allUnknown = false
+			}
+		}
+	}
+	if jobs == 0 {
+		return true
+	}
+	return allUnknown
+}

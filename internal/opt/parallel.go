@@ -1,0 +1,125 @@
+package opt
+
+import (
+	"sync"
+	"time"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/hop"
+	"elasticml/internal/lop"
+)
+
+// optimizeParallel is the task-parallel optimizer of Appendix C: a master
+// enumerates CP grid points, performs baseline compilation and pruning,
+// and dispatches per-block MR enumeration tasks to a shared worker pool.
+// The master pipelines: it proceeds to the next CP point while workers
+// drain earlier tasks, and aggregates program costs once a CP point's
+// tasks complete. The semi-independent-problems property (§3.2) makes the
+// tasks embarrassingly parallel with lock-free result slots.
+func (o *Optimizer) optimizeParallel(hp *hop.Program, src, srm []conf.Bytes, currentCP conf.Bytes,
+	cores int, stats *Stats, prunedForever []bool, deadline time.Time) (*Result, *Result) {
+
+	type task struct {
+		bt  blockTask
+		out *memoEntry
+		wg  *sync.WaitGroup
+	}
+	workers := o.Opts.Workers
+	tasksCh := make(chan task, 4*workers)
+	workerComps := make([]int, workers)
+	workerCosts := make([]int, workers)
+	var wgWorkers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wgWorkers.Add(1)
+		go func(w int) {
+			defer wgWorkers.Done()
+			est := o.newEstimator()
+			local := Stats{}
+			for tk := range tasksCh {
+				*tk.out = o.enumBlock(tk.bt, srm, est, &local)
+				tk.wg.Done()
+			}
+			workerComps[w] = local.BlockCompilations
+			workerCosts[w] = est.Invocations
+		}(w)
+	}
+
+	// pendingCP is one in-flight CP grid point awaiting its block results.
+	type pendingCP struct {
+		rc    conf.Bytes
+		memo  []memoEntry
+		tasks []blockTask
+		outs  []memoEntry
+		wg    *sync.WaitGroup
+	}
+
+	est := o.newEstimator() // master estimator
+	var pendings []*pendingCP
+	n := hp.NumLeaf
+	minH := o.CC.MinHeap()
+	for _, rc := range src {
+		if len(pendings) > 0 && !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		p := &pendingCP{rc: rc, memo: make([]memoEntry, n)}
+		baseline := lop.Select(hp, o.CC, withCores(conf.NewResources(rc, minH, n), cores))
+		stats.BlockCompilations += countBlocks(baseline)
+		leaves := baseline.LeafBlocks()
+		remaining := 0
+		for i, lb := range leaves {
+			p.memo[i] = memoEntry{ri: minH, cost: est.BlockCost(lb, withCores(conf.NewResources(rc, minH, 1), cores))}
+			if !o.Opts.DisablePruning {
+				if prunedForever[i] {
+					continue
+				}
+				if pruneBlock(lb) {
+					if lop.NumMRJobs([]*lop.Block{lb}) == 0 {
+						prunedForever[i] = true
+					}
+					continue
+				}
+			}
+			remaining++
+			p.tasks = append(p.tasks, blockTask{idx: i, hb: lb.HopBlock, rc: rc, cores: cores})
+		}
+		if remaining > stats.RemainingBlocks {
+			stats.RemainingBlocks = remaining
+		}
+		p.outs = make([]memoEntry, len(p.tasks))
+		p.wg = &sync.WaitGroup{}
+		p.wg.Add(len(p.tasks))
+		for k := range p.tasks {
+			tasksCh <- task{bt: p.tasks[k], out: &p.outs[k], wg: p.wg}
+		}
+		pendings = append(pendings, p)
+	}
+	close(tasksCh)
+
+	var best, bestLocal *Result
+	for _, p := range pendings {
+		p.wg.Wait()
+		for k, t := range p.tasks {
+			if p.outs[k].cost < p.memo[t.idx].cost {
+				p.memo[t.idx] = p.outs[k]
+			}
+		}
+		resVec := conf.Resources{CP: p.rc, MR: make([]conf.Bytes, n), CPCores: cores}
+		for i := range p.memo {
+			resVec.MR[i] = p.memo[i].ri
+		}
+		full := lop.Select(hp, o.CC, resVec)
+		stats.BlockCompilations += countBlocks(full)
+		c := est.ProgramCost(full)
+		best = better(best, &Result{Res: resVec, Cost: c})
+		if currentCP > 0 && p.rc == currentCP {
+			bestLocal = &Result{Res: resVec, Cost: c}
+		}
+	}
+	wgWorkers.Wait()
+	stats.Costings += est.Invocations
+	for w := 0; w < workers; w++ {
+		stats.BlockCompilations += workerComps[w]
+		stats.Costings += workerCosts[w]
+	}
+	return best, bestLocal
+}

@@ -1,0 +1,535 @@
+package rt
+
+import (
+	"fmt"
+
+	"elasticml/internal/hdfs"
+	"elasticml/internal/hop"
+	"elasticml/internal/matrix"
+)
+
+// env evaluates one block DAG with memoization.
+type env struct {
+	ip    *Interp
+	cache map[int64]*Value
+}
+
+func newEnv(ip *Interp) *env {
+	return &env{ip: ip, cache: map[int64]*Value{}}
+}
+
+func (e *env) eval(h *hop.Hop) (*Value, error) {
+	if h == nil {
+		return nil, nil
+	}
+	if v, ok := e.cache[h.ID]; ok {
+		return v, nil
+	}
+	v, err := e.compute(h)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", h.Kind, err)
+	}
+	e.cache[h.ID] = v
+	return v, nil
+}
+
+func (e *env) evalInputs(h *hop.Hop) ([]*Value, error) {
+	vals := make([]*Value, len(h.Inputs))
+	for i, in := range h.Inputs {
+		v, err := e.eval(in)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+func (e *env) compute(h *hop.Hop) (*Value, error) {
+	ip := e.ip
+	switch h.Kind {
+	case hop.KindLit:
+		if h.DataType == hop.String {
+			return StrValue(h.StrValue), nil
+		}
+		return ScalarValue(h.Value), nil
+
+	case hop.KindTRead:
+		v, ok := ip.Vars[h.Name]
+		if !ok {
+			return nil, fmt.Errorf("undefined variable %q", h.Name)
+		}
+		return v, nil
+
+	case hop.KindRead:
+		f, err := ip.FS.Read(h.Name)
+		if err != nil {
+			return nil, err
+		}
+		if ip.Mode == ModeValue {
+			if f.Data == nil {
+				return nil, fmt.Errorf("value mode requires real payload for %q", h.Name)
+			}
+			return MatValue(f.Data), nil
+		}
+		return MetaValue(f.Rows, f.Cols, f.NNZ), nil
+
+	case hop.KindTWrite:
+		v, err := e.eval(h.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		ip.Vars[h.Name] = v
+		return v, nil
+
+	case hop.KindWrite:
+		v, err := e.eval(h.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		if v.Matrix {
+			if ip.Mode == ModeValue {
+				ip.FS.PutMatrix(h.Name, v.Mat)
+			} else {
+				ip.FS.PutDescriptor(h.Name, v.Rows, v.Cols, v.NNZ, hdfs.BinaryBlock)
+			}
+		}
+		return v, nil
+
+	case hop.KindPrint:
+		v, err := e.eval(h.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(ip.Out, v.Format())
+		return v, nil
+
+	case hop.KindStop:
+		v, err := e.eval(h.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("stop: %s", v.Format())
+
+	case hop.KindDataGen:
+		return e.dataGen(h)
+	case hop.KindSeq:
+		return e.seq(h)
+	case hop.KindUnary:
+		return e.unary(h)
+	case hop.KindBinary:
+		return e.binary(h)
+	case hop.KindAggUnary:
+		return e.agg(h)
+	case hop.KindMatMul:
+		return e.matmul(h)
+	case hop.KindReorg:
+		return e.reorg(h)
+	case hop.KindAppend:
+		return e.appendOp(h)
+	case hop.KindIndex:
+		return e.index(h)
+	case hop.KindLeftIndex:
+		return e.leftIndex(h)
+	case hop.KindTable:
+		return e.table(h)
+	case hop.KindDiag:
+		return e.diag(h)
+	case hop.KindSolve:
+		return e.solve(h)
+	case hop.KindTernaryAgg:
+		return e.ternaryAgg(h)
+	case hop.KindCast:
+		return e.cast(h)
+	}
+	return nil, fmt.Errorf("unsupported hop kind %v", h.Kind)
+}
+
+func (e *env) dataGen(h *hop.Hop) (*Value, error) {
+	vals, err := e.evalInputs(h)
+	if err != nil {
+		return nil, err
+	}
+	v, r, c := vals[0], vals[1], vals[2]
+	if !r.Known || !c.Known {
+		return nil, fmt.Errorf("matrix() dimensions unknown at runtime")
+	}
+	rows, cols := int64(r.Scalar), int64(c.Scalar)
+	if e.ip.Mode == ModeSim {
+		nnz := rows * cols
+		if v.Known && v.Scalar == 0 {
+			nnz = 0
+		}
+		return MetaValue(rows, cols, nnz), nil
+	}
+	return MatValue(matrix.Filled(int(rows), int(cols), v.Scalar)), nil
+}
+
+func (e *env) seq(h *hop.Hop) (*Value, error) {
+	vals, err := e.evalInputs(h)
+	if err != nil {
+		return nil, err
+	}
+	from, to, incr := vals[0], vals[1], vals[2]
+	if !from.Known || !to.Known || !incr.Known {
+		return nil, fmt.Errorf("seq bounds unknown at runtime")
+	}
+	if e.ip.Mode == ModeSim {
+		n := int64((to.Scalar-from.Scalar)/incr.Scalar) + 1
+		if n < 0 {
+			n = 0
+		}
+		return MetaValue(n, 1, n), nil
+	}
+	return MatValue(matrix.Seq(from.Scalar, to.Scalar, incr.Scalar)), nil
+}
+
+func (e *env) unary(h *hop.Hop) (*Value, error) {
+	vals, err := e.evalInputs(h)
+	if err != nil {
+		return nil, err
+	}
+	x := vals[0]
+	op, ok := unaryOpOf(h.Op)
+	if !ok {
+		return nil, fmt.Errorf("unknown unary %q", h.Op)
+	}
+	if !x.Matrix {
+		if !x.Known {
+			return UnknownScalar(), nil
+		}
+		return ScalarValue(op.Apply(x.Scalar)), nil
+	}
+	if e.ip.Mode == ModeSim || x.Mat == nil {
+		return e.metaFromHop(h, x), nil
+	}
+	return MatValue(matrix.Unary(op, x.Mat)), nil
+}
+
+func (e *env) binary(h *hop.Hop) (*Value, error) {
+	vals, err := e.evalInputs(h)
+	if err != nil {
+		return nil, err
+	}
+	a, b := vals[0], vals[1]
+	// String concatenation.
+	if a.IsStr || b.IsStr {
+		if h.Op != "+" {
+			return nil, fmt.Errorf("strings support only concatenation")
+		}
+		return StrValue(a.Format() + b.Format()), nil
+	}
+	op, ok := hop.SurfaceBinaryOp(h.Op)
+	if !ok {
+		return nil, fmt.Errorf("unknown binary %q", h.Op)
+	}
+	switch {
+	case !a.Matrix && !b.Matrix:
+		if !a.Known || !b.Known {
+			return UnknownScalar(), nil
+		}
+		return ScalarValue(op.Apply(a.Scalar, b.Scalar)), nil
+	case e.ip.Mode == ModeSim || (a.Matrix && a.Mat == nil) || (b.Matrix && b.Mat == nil):
+		ref := a
+		if !ref.Matrix {
+			ref = b
+		}
+		return e.metaFromHop(h, ref), nil
+	case a.Matrix && b.Matrix:
+		return MatValue(matrix.EW(op, a.Mat, b.Mat)), nil
+	case a.Matrix:
+		return MatValue(matrix.EWScalarRight(op, a.Mat, b.Scalar)), nil
+	default:
+		return MatValue(matrix.EWScalarLeft(op, a.Scalar, b.Mat)), nil
+	}
+}
+
+func (e *env) agg(h *hop.Hop) (*Value, error) {
+	vals, err := e.evalInputs(h)
+	if err != nil {
+		return nil, err
+	}
+	x := vals[0]
+	switch h.Op {
+	case "nrow":
+		return ScalarValue(float64(x.Rows)), nil
+	case "ncol":
+		return ScalarValue(float64(x.Cols)), nil
+	}
+	if e.ip.Mode == ModeSim || x.Mat == nil {
+		if h.IsScalar() {
+			return UnknownScalar(), nil
+		}
+		return e.metaFromHop(h, x), nil
+	}
+	m := x.Mat
+	switch h.Op {
+	case "sum":
+		return ScalarValue(matrix.Sum(m)), nil
+	case "mean":
+		return ScalarValue(matrix.Agg(matrix.MeanAgg, m)), nil
+	case "min":
+		return ScalarValue(matrix.Agg(matrix.MinAgg, m)), nil
+	case "max":
+		return ScalarValue(matrix.Agg(matrix.MaxAgg, m)), nil
+	case "trace":
+		return ScalarValue(matrix.Agg(matrix.Trace, m)), nil
+	case "sumsq":
+		return ScalarValue(matrix.SumSq(m)), nil
+	case "rowSums":
+		return MatValue(matrix.RowSums(m)), nil
+	case "colSums":
+		return MatValue(matrix.ColSums(m)), nil
+	case "rowMaxs":
+		return MatValue(matrix.RowMaxs(m)), nil
+	}
+	return nil, fmt.Errorf("unknown aggregate %q", h.Op)
+}
+
+func (e *env) matmul(h *hop.Hop) (*Value, error) {
+	vals, err := e.evalInputs(h)
+	if err != nil {
+		return nil, err
+	}
+	a, b := vals[0], vals[1]
+	if e.ip.Mode == ModeSim || a.Mat == nil || b.Mat == nil {
+		rows := a.Rows
+		k := a.Cols
+		if h.TransA {
+			rows, k = a.Cols, a.Rows
+		}
+		sp := matrix.MulSparsity(a.Sparsity(), b.Sparsity(), k)
+		nnz := int64(sp * float64(rows) * float64(b.Cols))
+		return MetaValue(rows, b.Cols, nnz), nil
+	}
+	if h.TransA {
+		if h.Inputs[0] == h.Inputs[1] {
+			return MatValue(matrix.TSMM(a.Mat)), nil
+		}
+		return MatValue(matrix.Mul(matrix.Transpose(a.Mat), b.Mat)), nil
+	}
+	return MatValue(matrix.Mul(a.Mat, b.Mat)), nil
+}
+
+func (e *env) reorg(h *hop.Hop) (*Value, error) {
+	vals, err := e.evalInputs(h)
+	if err != nil {
+		return nil, err
+	}
+	x := vals[0]
+	if e.ip.Mode == ModeSim || x.Mat == nil {
+		return MetaValue(x.Cols, x.Rows, x.NNZ), nil
+	}
+	return MatValue(matrix.Transpose(x.Mat)), nil
+}
+
+func (e *env) appendOp(h *hop.Hop) (*Value, error) {
+	vals, err := e.evalInputs(h)
+	if err != nil {
+		return nil, err
+	}
+	a, b := vals[0], vals[1]
+	if e.ip.Mode == ModeSim || a.Mat == nil || b.Mat == nil {
+		if h.Op == "rbind" {
+			return MetaValue(a.Rows+b.Rows, a.Cols, a.NNZ+b.NNZ), nil
+		}
+		return MetaValue(a.Rows, a.Cols+b.Cols, a.NNZ+b.NNZ), nil
+	}
+	if h.Op == "rbind" {
+		return MatValue(matrix.RBind(a.Mat, b.Mat)), nil
+	}
+	return MatValue(matrix.CBind(a.Mat, b.Mat)), nil
+}
+
+// bounds resolves the four index-bound hops into 0-based half-open ranges.
+func (e *env) bounds(h *hop.Hop, off int, rows, cols int64) (r0, r1, c0, c1 int64, err error) {
+	get := func(i int, def int64) (int64, error) {
+		if i >= len(h.Inputs) || h.Inputs[i] == nil {
+			return def, nil
+		}
+		v, err := e.eval(h.Inputs[i])
+		if err != nil {
+			return 0, err
+		}
+		if !v.Known {
+			return 0, fmt.Errorf("index bound unknown at runtime")
+		}
+		return int64(v.Scalar), nil
+	}
+	rl, err := get(off, 0)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if h.Inputs[off] == nil {
+		r0, r1 = 0, rows
+	} else {
+		ru, err := get(off+1, rl)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		r0, r1 = rl-1, ru
+	}
+	cl, err := get(off+2, 0)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if off+2 >= len(h.Inputs) || h.Inputs[off+2] == nil {
+		c0, c1 = 0, cols
+	} else {
+		cu, err := get(off+3, cl)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		c0, c1 = cl-1, cu
+	}
+	return r0, r1, c0, c1, nil
+}
+
+func (e *env) index(h *hop.Hop) (*Value, error) {
+	x, err := e.eval(h.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	r0, r1, c0, c1, err := e.bounds(h, 1, x.Rows, x.Cols)
+	if err != nil {
+		return nil, err
+	}
+	if e.ip.Mode == ModeSim || x.Mat == nil {
+		rows, cols := r1-r0, c1-c0
+		nnz := int64(float64(rows*cols) * x.Sparsity())
+		return MetaValue(rows, cols, nnz), nil
+	}
+	return MatValue(matrix.Slice(x.Mat, int(r0), int(r1), int(c0), int(c1))), nil
+}
+
+func (e *env) leftIndex(h *hop.Hop) (*Value, error) {
+	x, err := e.eval(h.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	v, err := e.eval(h.Inputs[1])
+	if err != nil {
+		return nil, err
+	}
+	r0, r1, c0, c1, err := e.bounds(h, 2, x.Rows, x.Cols)
+	if err != nil {
+		return nil, err
+	}
+	if e.ip.Mode == ModeSim || x.Mat == nil {
+		return MetaValue(x.Rows, x.Cols, x.Rows*x.Cols), nil
+	}
+	out := x.Mat.ToDense().Clone()
+	for i := r0; i < r1; i++ {
+		for j := c0; j < c1; j++ {
+			var val float64
+			if v.Matrix {
+				val = v.Mat.At(int(i-r0), int(j-c0))
+			} else {
+				val = v.Scalar
+			}
+			out.Set(int(i), int(j), val)
+		}
+	}
+	return MatValue(out), nil
+}
+
+func (e *env) table(h *hop.Hop) (*Value, error) {
+	vals, err := e.evalInputs(h)
+	if err != nil {
+		return nil, err
+	}
+	a, b := vals[0], vals[1]
+	if e.ip.Mode == ModeSim || a.Mat == nil || b.Mat == nil {
+		// Data-dependent output size: in sim mode the class count comes
+		// from the workload specification.
+		return MetaValue(a.Rows, e.ip.SimTableCols, a.Rows), nil
+	}
+	return MatValue(matrix.Table(a.Mat, b.Mat)), nil
+}
+
+func (e *env) diag(h *hop.Hop) (*Value, error) {
+	x, err := e.eval(h.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	if e.ip.Mode == ModeSim || x.Mat == nil {
+		if x.Cols == 1 {
+			return MetaValue(x.Rows, x.Rows, x.NNZ), nil
+		}
+		n := x.Rows
+		if x.Cols < n {
+			n = x.Cols
+		}
+		return MetaValue(n, 1, n), nil
+	}
+	return MatValue(matrix.Diag(x.Mat)), nil
+}
+
+func (e *env) solve(h *hop.Hop) (*Value, error) {
+	vals, err := e.evalInputs(h)
+	if err != nil {
+		return nil, err
+	}
+	a, b := vals[0], vals[1]
+	if e.ip.Mode == ModeSim || a.Mat == nil || b.Mat == nil {
+		return MetaValue(a.Cols, b.Cols, a.Cols*b.Cols), nil
+	}
+	x, err := matrix.Solve(a.Mat, b.Mat)
+	if err != nil {
+		return nil, err
+	}
+	return MatValue(x), nil
+}
+
+func (e *env) ternaryAgg(h *hop.Hop) (*Value, error) {
+	vals, err := e.evalInputs(h)
+	if err != nil {
+		return nil, err
+	}
+	if e.ip.Mode == ModeSim {
+		return UnknownScalar(), nil
+	}
+	for _, v := range vals {
+		if v.Mat == nil {
+			return UnknownScalar(), nil
+		}
+	}
+	prod := vals[0].Mat
+	for _, v := range vals[1 : len(vals)-1] {
+		prod = matrix.EW(matrix.MulEW, prod, v.Mat)
+	}
+	return ScalarValue(matrix.DotProduct(prod, vals[len(vals)-1].Mat)), nil
+}
+
+func (e *env) cast(h *hop.Hop) (*Value, error) {
+	x, err := e.eval(h.Inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	if !x.Matrix {
+		return x, nil
+	}
+	if x.Mat == nil {
+		return UnknownScalar(), nil
+	}
+	if x.Rows != 1 || x.Cols != 1 {
+		return nil, fmt.Errorf("as.scalar requires 1x1 matrix, got %dx%d", x.Rows, x.Cols)
+	}
+	return ScalarValue(x.Mat.At(0, 0)), nil
+}
+
+// metaFromHop builds a descriptor from the hop's inferred sizes, falling
+// back to the reference value's dimensions when the hop is unknown.
+func (e *env) metaFromHop(h *hop.Hop, ref *Value) *Value {
+	rows, cols, nnz := h.Rows, h.Cols, h.NNZ
+	if rows == hop.Unknown {
+		rows = ref.Rows
+	}
+	if cols == hop.Unknown {
+		cols = ref.Cols
+	}
+	if nnz == hop.Unknown || nnz < 0 {
+		nnz = rows * cols
+	}
+	return MetaValue(rows, cols, nnz)
+}

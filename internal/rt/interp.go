@@ -1,0 +1,382 @@
+package rt
+
+import (
+	"fmt"
+	"io"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/cost"
+	"elasticml/internal/dml"
+	"elasticml/internal/hdfs"
+	"elasticml/internal/hop"
+	"elasticml/internal/lop"
+)
+
+// Stats aggregates execution counters.
+type Stats struct {
+	Instructions int
+	MRJobs       int
+	Recompiles   int
+	Migrations   int
+}
+
+// AdaptContext is handed to the resource adapter when a dynamic
+// recompilation produced MR jobs (paper §4.2).
+type AdaptContext struct {
+	// Plan is the currently executing plan.
+	Plan *lop.Plan
+	// Block is the recompiled generic block (original plan block).
+	Block *lop.Block
+	// Enclosing is the stack of control blocks around Block, outermost
+	// first.
+	Enclosing []*lop.Block
+	// Res is the current resource configuration.
+	Res conf.Resources
+	// Meta is the runtime variable metadata (sizes now known).
+	Meta hop.SymTab
+	// DirtyBytes is the size of dirty live variables (migration IO).
+	DirtyBytes conf.Bytes
+	// Compiler recompiles re-optimization scopes from source.
+	Compiler *hop.Compiler
+}
+
+// AdaptDecision is the adapter's verdict.
+type AdaptDecision struct {
+	// NewRes is the configuration to continue with.
+	NewRes conf.Resources
+	// Migrate indicates an AM runtime migration (CP memory change).
+	Migrate bool
+	// ExtraTime is the charged adaptation overhead (optimization time plus
+	// migration costs if any).
+	ExtraTime float64
+}
+
+// Adapter decides on runtime resource adaptation.
+type Adapter interface {
+	Adapt(ctx *AdaptContext) *AdaptDecision
+}
+
+// Interp executes runtime plans.
+type Interp struct {
+	Mode     Mode
+	FS       *hdfs.FS
+	CC       conf.Cluster
+	Res      conf.Resources
+	Compiler *hop.Compiler
+	// Est charges per-instruction simulated time (evictions enabled).
+	Est   *cost.Estimator
+	State *cost.VarState
+	// Vars is the live-variable table.
+	Vars map[string]*Value
+	// Out receives print() output.
+	Out io.Writer
+	// SimTime is the accumulated simulated execution time in seconds.
+	SimTime float64
+	Stats   Stats
+	// SimTableCols is the data-dependent column count produced by table()
+	// in sim mode (the class count of the simulated label vector).
+	SimTableCols int64
+	// UnknownLoopIters bounds loops whose predicates are unknown in sim
+	// mode.
+	UnknownLoopIters int
+	// SimLoopCap bounds every while loop in sim mode: data-dependent exit
+	// conditions are unknowable on descriptors, so loops controlled purely
+	// by convergence flags would otherwise never terminate.
+	SimLoopCap int
+	// Adapter, when set, is consulted for runtime resource adaptation.
+	Adapter Adapter
+
+	plan        *lop.Plan
+	resChanged  bool
+	encl        []*lop.Block
+	parforDepth int
+}
+
+// New returns an interpreter for the given mode, file system, cluster and
+// initial resource configuration.
+func New(mode Mode, fs *hdfs.FS, cc conf.Cluster, res conf.Resources) *Interp {
+	est := cost.NewEstimator(cc)
+	est.EvictionWeight = 1.0
+	return &Interp{
+		Mode:             mode,
+		FS:               fs,
+		CC:               cc,
+		Res:              res.Clone(),
+		Est:              est,
+		State:            cost.NewVarState(cc.OpBudget(res.CP)),
+		Vars:             map[string]*Value{},
+		Out:              io.Discard,
+		SimTableCols:     2,
+		UnknownLoopIters: 5,
+		SimLoopCap:       10,
+	}
+}
+
+// Run executes the plan to completion, accumulating simulated time.
+func (ip *Interp) Run(plan *lop.Plan) error {
+	ip.plan = plan
+	if ip.Compiler == nil {
+		ip.Compiler = hop.NewCompiler(ip.FS, plan.HopProgram.Params)
+	}
+	return ip.execBlocks(plan.Blocks)
+}
+
+func (ip *Interp) execBlocks(blocks []*lop.Block) error {
+	for _, b := range blocks {
+		if err := ip.execBlock(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ip *Interp) execBlock(b *lop.Block) error {
+	switch b.Kind {
+	case dml.GenericBlock:
+		return ip.execGeneric(b)
+	case dml.IfBlockKind:
+		pv, err := ip.evalPredicate(b.Pred, b.HopBlock.PredExpr)
+		if err != nil {
+			return err
+		}
+		// Unknown predicates (sim mode) skip the conditional body, which
+		// keeps convergence-exit branches from firing early.
+		if pv.Known && pv.Bool() {
+			return ip.withEnclosing(b, func() error { return ip.execBlocks(b.Then) })
+		}
+		return ip.withEnclosing(b, func() error { return ip.execBlocks(b.Else) })
+	case dml.WhileBlockKind:
+		return ip.withEnclosing(b, func() error { return ip.execWhile(b) })
+	case dml.ForBlockKind:
+		return ip.withEnclosing(b, func() error { return ip.execFor(b) })
+	}
+	return fmt.Errorf("rt: unknown block kind %v", b.Kind)
+}
+
+func (ip *Interp) withEnclosing(b *lop.Block, fn func() error) error {
+	ip.encl = append(ip.encl, b)
+	err := fn()
+	ip.encl = ip.encl[:len(ip.encl)-1]
+	return err
+}
+
+func (ip *Interp) execWhile(b *lop.Block) error {
+	unknownIters := 0
+	for iter := 0; ; iter++ {
+		if ip.Mode == ModeSim && ip.SimLoopCap > 0 && iter >= ip.SimLoopCap {
+			// Convergence flags are data dependent and unknowable on
+			// descriptors; bound the loop as the cost model bounds
+			// unknown-iteration loops.
+			return nil
+		}
+		pv, err := ip.evalPredicate(b.Pred, b.HopBlock.PredExpr)
+		if err != nil {
+			return err
+		}
+		if pv.Known {
+			if !pv.Bool() {
+				return nil
+			}
+		} else {
+			unknownIters++
+			if unknownIters > ip.UnknownLoopIters {
+				return nil
+			}
+		}
+		if err := ip.execBlocks(b.Body); err != nil {
+			return err
+		}
+	}
+}
+
+func (ip *Interp) execFor(b *lop.Block) error {
+	fromV, err := ip.evalPredicate(b.From, b.HopBlock.FromExpr)
+	if err != nil {
+		return err
+	}
+	toV, err := ip.evalPredicate(b.To, b.HopBlock.ToExpr)
+	if err != nil {
+		return err
+	}
+	from, to := int64(1), int64(ip.UnknownLoopIters)
+	if fromV.Known && toV.Known {
+		from, to = int64(fromV.Scalar), int64(toV.Scalar)
+	}
+	start := ip.SimTime
+	if b.Parallel {
+		ip.parforDepth++
+	}
+	for i := from; i <= to; i++ {
+		ip.Vars[b.Var] = ScalarValue(float64(i))
+		if err := ip.execBlocks(b.Body); err != nil {
+			if b.Parallel {
+				ip.parforDepth--
+			}
+			return err
+		}
+	}
+	if b.Parallel {
+		ip.parforDepth--
+		// parfor iterations execute on concurrent workers: values are
+		// computed sequentially (independence is the script's contract),
+		// but wall-clock time divides by the worker count.
+		iters := to - from + 1
+		dop := int64(ip.Res.Cores())
+		if dop > iters {
+			dop = iters
+		}
+		if dop > 1 {
+			elapsed := ip.SimTime - start
+			ip.SimTime = start + elapsed/float64(dop)
+		}
+	}
+	return nil
+}
+
+// evalPredicate evaluates a scalar header DAG against the live variables.
+// When the hop is stale (recompilation changed metadata), the expression is
+// rebuilt from source; predicates are tiny so this is cheap.
+func (ip *Interp) evalPredicate(pred *hop.Hop, expr dml.Expr) (*Value, error) {
+	if pred == nil {
+		return ScalarValue(1), nil
+	}
+	env := newEnv(ip)
+	return env.eval(pred)
+}
+
+// snapshotMeta converts the live-variable table into compiler metadata.
+func (ip *Interp) snapshotMeta() hop.SymTab {
+	meta := hop.SymTab{}
+	for name, v := range ip.Vars {
+		meta[name] = v.meta()
+	}
+	return meta
+}
+
+// execGeneric runs one generic block: dynamic recompilation if needed,
+// adaptation hook, time charging, and value/metadata evaluation.
+func (ip *Interp) execGeneric(b *lop.Block) error {
+	exec := b
+	if b.Recompile || ip.resChanged {
+		hb, err := ip.Compiler.RecompileGeneric(b.HopBlock, ip.snapshotMeta())
+		if err != nil {
+			return fmt.Errorf("rt: dynamic recompilation failed: %w", err)
+		}
+		exec = lop.SelectBlock(hb, ip.CC, ip.Res)
+		ip.Stats.Recompiles++
+		// Runtime resource adaptation triggers only when the recompiled
+		// block still spawns MR jobs (paper §4.2).
+		if b.Recompile && ip.Adapter != nil && lop.NumMRJobs([]*lop.Block{exec}) > 0 {
+			ip.adapt(b)
+			// Re-select under the (possibly) new resources.
+			exec = lop.SelectBlock(hb, ip.CC, ip.Res)
+		}
+	}
+	return ip.runInstrs(exec)
+}
+
+func (ip *Interp) adapt(b *lop.Block) {
+	ctx := &AdaptContext{
+		Plan:       ip.plan,
+		Block:      b,
+		Enclosing:  append([]*lop.Block{}, ip.encl...),
+		Res:        ip.Res.Clone(),
+		Meta:       ip.snapshotMeta(),
+		DirtyBytes: ip.State.DirtyBytes(),
+		Compiler:   ip.Compiler,
+	}
+	dec := ip.Adapter.Adapt(ctx)
+	if dec == nil {
+		return
+	}
+	ip.SimTime += dec.ExtraTime
+	if dec.Migrate {
+		ip.Stats.Migrations++
+		// Materialize the runtime state on the DFS (paper §4.1): all
+		// dirty variables plus the new resource configuration; the new
+		// container restores lazily through its buffer pool.
+		ip.exportState(dec.NewRes)
+		ip.State.FlushAll()
+		ip.State.SetBudget(ip.CC.OpBudget(dec.NewRes.CP))
+	}
+	ip.Res = dec.NewRes.Clone()
+	ip.resChanged = true
+}
+
+// cpCores returns the per-operation CP parallelism: inside parfor bodies
+// each worker is single threaded.
+func (ip *Interp) cpCores() int {
+	if ip.parforDepth > 0 {
+		return 1
+	}
+	return ip.Res.Cores()
+}
+
+// StatePrefix is the DFS directory receiving migrated AM state.
+const StatePrefix = "/system/am_state/"
+
+// exportState writes the live matrix variables and the new configuration
+// marker to the DFS, making the migration hand-off observable.
+func (ip *Interp) exportState(newRes conf.Resources) {
+	for name, v := range ip.Vars {
+		if !v.Matrix {
+			continue
+		}
+		path := StatePrefix + name
+		if ip.Mode == ModeValue && v.Mat != nil {
+			ip.FS.PutMatrix(path, v.Mat)
+		} else {
+			ip.FS.PutDescriptor(path, v.Rows, v.Cols, v.NNZ, hdfs.BinaryBlock)
+		}
+	}
+	ip.FS.PutDescriptor(StatePrefix+"_config_"+newRes.String(), 1, 1, 1, hdfs.BinaryBlock)
+}
+
+// runInstrs evaluates the block DAG, back-patches runtime sizes into hops
+// whose dimensions were data dependent (e.g. table outputs), and then
+// charges instruction times from the resolved sizes.
+func (ip *Interp) runInstrs(b *lop.Block) error {
+	if b.HopBlock == nil {
+		return nil
+	}
+	// Evaluate roots first: transient writes bind variables, persistent
+	// writes hit the DFS, prints stream to Out, stop aborts.
+	env := newEnv(ip)
+	for _, root := range b.HopBlock.Roots {
+		if _, err := env.eval(root); err != nil {
+			return err
+		}
+	}
+	// Resolve remaining unknown dimensions from the computed values so the
+	// performance model charges actual sizes, not worst-case infinities.
+	hop.WalkDAG(b.HopBlock.Roots, func(h *hop.Hop) {
+		if h.DataType != hop.Matrix || h.DimsKnown() {
+			return
+		}
+		if v, ok := env.cache[h.ID]; ok && v != nil && v.Matrix {
+			hop.UpdateFromRuntime(h, v.Rows, v.Cols, v.NNZ)
+		}
+	})
+
+	inJob := map[int64]*lop.MRJob{}
+	for _, in := range b.Instrs {
+		if in.Kind == lop.InstrMR {
+			for _, op := range in.Job.Ops {
+				inJob[op.Hop.ID] = in.Job
+			}
+		}
+	}
+	uses := cost.BlockUses(b)
+	evict0 := ip.State.EvictionIO()
+	for _, in := range b.Instrs {
+		ip.Stats.Instructions++
+		if in.Kind == lop.InstrCP {
+			ip.SimTime += ip.Est.CPInstrTime(in.Hop, ip.State, inJob, ip.cpCores())
+		} else {
+			ip.Stats.MRJobs++
+			ip.SimTime += ip.Est.MRJobTime(in.Job, b, ip.Res, ip.State, uses, inJob)
+		}
+	}
+	ip.SimTime += ip.Est.PM.WriteTime(ip.State.EvictionIO()-evict0, 1) * ip.Est.PM.EvictionPenalty
+	return nil
+}

@@ -1,0 +1,242 @@
+package scripts
+
+// GLM returns the generalized linear model program (default: Poisson with
+// log link), the largest and most complex of the five evaluation programs.
+// Its iteratively reweighted least squares outer loop with an inner
+// conjugate gradient solver, plus the distribution/link dispatch branches,
+// produce a deep program-block hierarchy; link-dependent intermediates make
+// several sizes unknown at initial compile time ('?' in Table 1).
+func GLM() Spec {
+	return Spec{Name: "GLM", Source: glmSource, Params: defaultParams(),
+		HasUnknowns: true, Iterative: true}
+}
+
+const glmSource = `# Generalized linear model via iteratively reweighted least squares with
+# an inner conjugate-gradient solver (trust-region flavor).
+# Families: dfam=1 power distributions (vpow: 0 gaussian, 1 poisson,
+# 2 gamma), dfam=2 binomial. Links: link=1 log, 2 identity, 3 logit,
+# 4 power (lpow).
+X = read($X);
+y = read($Y);
+intercept = $icpt;
+lambda = $reg;
+tol = $tol;
+moi = $moi;
+mii = $mii;
+dfam = $dfam;
+vpow = $vpow;
+link = $link;
+lpow = $lpow;
+disp = $disp;
+
+n = nrow(X);
+m = ncol(X);
+
+if (intercept == 1) {
+  ones = matrix(1, rows=n, cols=1);
+  X = append(X, ones);
+  m = m + 1;
+}
+
+# ----- input statistics and validation -----
+sum_y = sum(y);
+mean_y = sum_y / n;
+min_y = min(y);
+max_y = max(y);
+var_y = (sum(y ^ 2) - n * mean_y ^ 2) / (n - 1);
+
+K_resp = 1;
+if (dfam == 2) {
+  if (min_y < 0) {
+    print("WARNING: binomial family requires non-negative responses");
+  }
+  if (max_y > 1) {
+    # interpret as counts; rescale to proportions
+    y = y / max_y;
+  }
+  # expand categorical responses into per-category indicator columns and
+  # fit one linear predictor per category (grouped one-vs-rest). The
+  # category count is data dependent, so all loop intermediates have
+  # unknown sizes at initial compile time.
+  Y_resp = table(seq(1, n, 1), round(y * (max_y - min_y)) + 1);
+  K_resp = ncol(Y_resp);
+  y = Y_resp;
+} else {
+  if (vpow == 1) {
+    if (min_y < 0) {
+      print("WARNING: poisson family requires non-negative responses");
+    }
+  }
+  if (vpow == 2) {
+    if (min_y <= 0) {
+      print("WARNING: gamma family requires positive responses");
+    }
+  }
+}
+
+# ----- initialize the linear predictor via the link of the mean -----
+beta = matrix(0, rows=m, cols=K_resp);
+mu_start = mean_y;
+if (dfam == 2) {
+  if (mu_start <= 0) {
+    mu_start = 0.5;
+  }
+  if (mu_start >= 1) {
+    mu_start = 0.5;
+  }
+}
+eta_start = mu_start;
+if (link == 1) {
+  if (mu_start <= 0) {
+    eta_start = 0;
+  } else {
+    eta_start = log(mu_start);
+  }
+}
+if (link == 3) {
+  eta_start = log(mu_start / (1 - mu_start));
+}
+if (link == 4) {
+  if (lpow == 0) {
+    eta_start = log(mu_start);
+  } else {
+    eta_start = mu_start ^ lpow;
+  }
+}
+
+eta = matrix(1, rows=n, cols=K_resp);
+eta = eta * eta_start;
+
+# ----- outer IRLS iterations -----
+outer_iter = 0;
+outer_continue = TRUE;
+deviance_old = 0;
+deviance = 0;
+while (outer_continue & outer_iter < moi) {
+  # inverse link: mu from eta
+  if (link == 1) {
+    mu = exp(eta);
+    dmu_deta = mu;
+  } else {
+    if (link == 2) {
+      mu = eta;
+      dmu_deta = matrix(1, rows=n, cols=1);
+    } else {
+      if (link == 3) {
+        expeta = exp(eta);
+        mu = expeta / (1 + expeta);
+        dmu_deta = mu * (1 - mu);
+      } else {
+        mu = eta ^ (1 / lpow);
+        dmu_deta = mu / (lpow * eta);
+      }
+    }
+  }
+
+  # variance function
+  if (dfam == 2) {
+    var_mu = mu * (1 - mu);
+  } else {
+    if (vpow == 0) {
+      var_mu = matrix(1, rows=n, cols=1);
+    } else {
+      if (vpow == 1) {
+        var_mu = mu;
+      } else {
+        var_mu = mu ^ vpow;
+      }
+    }
+  }
+
+  # working weights and residual
+  w_irls = dmu_deta ^ 2 / var_mu;
+  resid = (y - mu) / dmu_deta;
+
+  # gradient and regularized normal equations via inner CG:
+  # solve (t(X) diag(w) X + lambda I) dbeta = t(X) (w * resid)
+  g = t(X) %*% (w_irls * resid) - lambda * beta;
+
+  dbeta = matrix(0, rows=m, cols=K_resp);
+  r_cg = -g;
+  p_cg = -r_cg;
+  norm_r2 = sum(r_cg ^ 2);
+  inner_iter = 0;
+  inner_continue = TRUE;
+  while (inner_continue & inner_iter < mii) {
+    Xp = X %*% p_cg;
+    q_cg = t(X) %*% (w_irls * Xp) + lambda * p_cg;
+    alpha = norm_r2 / sum(p_cg * q_cg);
+    dbeta = dbeta + alpha * p_cg;
+    r_cg = r_cg + alpha * q_cg;
+    old_norm_r2 = norm_r2;
+    norm_r2 = sum(r_cg ^ 2);
+    if (norm_r2 < tol * tol) {
+      inner_continue = FALSE;
+    }
+    beta_cg = norm_r2 / old_norm_r2;
+    p_cg = -r_cg + beta_cg * p_cg;
+    inner_iter = inner_iter + 1;
+  }
+
+  beta = beta + dbeta;
+  eta = X %*% beta;
+
+  # deviance for convergence monitoring
+  if (dfam == 2) {
+    dev_terms = y * eta - log(1 + exp(eta));
+    deviance = -2 * sum(dev_terms);
+  } else {
+    if (vpow == 1) {
+      mu_new = exp(eta);
+      deviance = 2 * sum(mu_new - y * eta);
+    } else {
+      resid_new = y - eta;
+      deviance = sum(resid_new ^ 2);
+    }
+  }
+
+  dev_change = abs(deviance_old - deviance);
+  if (outer_iter > 0) {
+    if (dev_change < tol * (abs(deviance) + tol)) {
+      outer_continue = FALSE;
+    }
+  }
+  deviance_old = deviance;
+  outer_iter = outer_iter + 1;
+  print("OUTER " + outer_iter + ": DEVIANCE=" + deviance);
+}
+
+# ----- dispersion and final statistics -----
+if (link == 1) {
+  mu_final = exp(eta);
+} else {
+  if (link == 3) {
+    expeta2 = exp(eta);
+    mu_final = expeta2 / (1 + expeta2);
+  } else {
+    mu_final = eta;
+  }
+}
+
+pearson_resid = y - mu_final;
+pearson_X2 = sum(pearson_resid ^ 2);
+df = n - m;
+if (df > 0) {
+  dispersion_est = pearson_X2 / df;
+  print("DISPERSION_EST " + dispersion_est);
+} else {
+  print("WARNING: non-positive degrees of freedom");
+}
+
+if (disp > 0) {
+  scaled_deviance = deviance / disp;
+  print("SCALED_DEVIANCE " + scaled_deviance);
+}
+
+aic_like = deviance + 2 * m;
+print("DEVIANCE " + deviance);
+print("AIC_LIKE " + aic_like);
+print("ITERATIONS " + outer_iter);
+
+write(beta, $B);
+`

@@ -1,0 +1,90 @@
+package scripts
+
+// L2SVM returns the L2-regularized support vector machine program solving
+// the primal SVM optimization problem with a non-linear conjugate gradient
+// outer loop and a Newton line search inner loop (paper Appendix A).
+// Labels are expected in {-1, +1}.
+func L2SVM() Spec {
+	p := defaultParams()
+	return Spec{Name: "L2SVM", Source: l2svmSource, Params: p, Iterative: true}
+}
+
+const l2svmSource = `# L2-regularized linear support vector machine (primal, nonlinear CG).
+X = read($X);
+Y = read($Y);
+intercept = $icpt;
+epsilon = $tol;
+lambda = $reg;
+maxiterations = $maxi;
+
+num_samples = nrow(X);
+dimensions = ncol(X);
+num_rows_in_w = dimensions;
+
+if (intercept == 1) {
+  ones = matrix(1, rows=num_samples, cols=1);
+  X = append(X, ones);
+  num_rows_in_w = num_rows_in_w + 1;
+}
+
+w = matrix(0, rows=num_rows_in_w, cols=1);
+g_old = t(X) %*% Y;
+s = g_old;
+iter = 0;
+Xw = matrix(0, rows=num_samples, cols=1);
+continue = TRUE;
+
+while (continue & iter < maxiterations) {
+  # minimizing the primal objective along direction s
+  step_sz = 0;
+  Xd = X %*% s;
+  wd = lambda * sum(w * s);
+  dd = lambda * sum(s * s);
+  continue1 = TRUE;
+  inner_iter = 0;
+  while (continue1) {
+    tmp_Xw = Xw + step_sz * Xd;
+    out = 1 - Y * tmp_Xw;
+    sv = ppred(out, 0, ">");
+    out = out * sv;
+    g = wd + step_sz * dd - sum(out * Y * Xd);
+    h = dd + sum(Xd * sv * Xd);
+    step_sz = step_sz - g / h;
+    inner_iter = inner_iter + 1;
+    if (g * g / h < 0.0000000001 | inner_iter > 100) {
+      continue1 = FALSE;
+    }
+  }
+
+  # update weights
+  w = w + step_sz * s;
+  Xw = Xw + step_sz * Xd;
+
+  out = 1 - Y * Xw;
+  sv = ppred(out, 0, ">");
+  out = sv * out;
+  obj = 0.5 * sum(out * out) + lambda / 2 * sum(w * w);
+  print("ITER " + iter + ": OBJ=" + obj);
+
+  g_new = t(X) %*% (out * Y) - lambda * w;
+  tmp = sum(s * g_old);
+  if (step_sz * tmp < epsilon * obj) {
+    continue = FALSE;
+  }
+
+  # non-linear CG direction update
+  be = sum(g_new * g_new) / sum(g_old * g_old);
+  s = be * s + g_new;
+  g_old = g_new;
+  iter = iter + 1;
+}
+
+extra_model = matrix(0, rows=1, cols=1);
+if (intercept == 1) {
+  extra_model[1, 1] = 1;
+}
+debug_nsv = sum(ppred(1 - Y * Xw, 0, ">"));
+print("SUPPORT_VECTORS " + debug_nsv);
+
+write(w, $B);
+`

@@ -1,0 +1,181 @@
+package scripts
+
+// LinregDS returns the direct-solve linear regression program: a
+// non-iterative closed-form solver for ordinary least squares via the
+// normal equations A = t(X)%*%X + lambda*I, b = t(X)%*%y. The t(X)%*%X is
+// compute-intensive for wide inputs (1,000 features), which is why DS
+// prefers massively parallel distributed plans with small CP memory
+// (paper Figure 1, left).
+func LinregDS() Spec {
+	return Spec{Name: "LinregDS", Source: linregDSSource, Params: defaultParams()}
+}
+
+// LinregCG returns the conjugate-gradient linear regression program: an
+// iterative solver whose per-iteration work is two matrix-vector products
+// on X. It is IO bound and benefits from a large CP memory where X is read
+// once and kept in memory (paper Figure 1, right).
+func LinregCG() Spec {
+	s := Spec{Name: "LinregCG", Source: linregCGSource, Params: defaultParams(), Iterative: true}
+	return s
+}
+
+const linregDSSource = `# Linear regression, direct solve (closed form via normal equations).
+# Solves y = X beta by beta = solve(t(X) X + lambda I, t(X) y) and reports
+# goodness-of-fit statistics.
+X = read($X);
+y = read($Y);
+intercept = $icpt;
+lambda = $reg;
+
+n = nrow(X);
+m = ncol(X);
+m_ext = m;
+
+if (intercept == 1) {
+  # add a column of ones and shift/rescale for the intercept
+  ones = matrix(1, rows=n, cols=1);
+  X = append(X, ones);
+  m_ext = m_ext + 1;
+}
+
+# normal equations (the t(X) X is the compute-intensive core)
+A = t(X) %*% X;
+b = t(X) %*% y;
+
+if (lambda > 0) {
+  # ridge regularization on the diagonal
+  ell = matrix(1, rows=m_ext, cols=1);
+  ell = ell * lambda;
+  if (intercept == 1) {
+    # do not regularize the intercept term
+    ell[m_ext, 1] = 0;
+  }
+  A = A + diag(ell);
+}
+
+beta_unscaled = solve(A, b);
+beta = beta_unscaled;
+
+# ----- model diagnostics -----
+y_residual = y - X %*% beta;
+
+avg_tot = sum(y) / n;
+ss_tot = sum(y ^ 2);
+ss_avg_tot = ss_tot - n * avg_tot ^ 2;
+var_tot = ss_avg_tot / (n - 1);
+
+avg_res = sum(y_residual) / n;
+ss_res = sum(y_residual ^ 2);
+ss_avg_res = ss_res - n * avg_res ^ 2;
+
+R2 = 1 - ss_res / ss_avg_tot;
+dispersion = ss_res / (n - m_ext);
+adjusted_R2 = 1 - dispersion / var_tot;
+
+R2_nobias = 1 - ss_avg_res / ss_avg_tot;
+deg_freedom = n - m_ext - 1;
+if (deg_freedom > 0) {
+  var_res = ss_avg_res / deg_freedom;
+  adjusted_R2_nobias = 1 - var_res / var_tot;
+  plain_R2_nobias = R2_nobias;
+  print("ADJUSTED_R2 " + adjusted_R2_nobias);
+} else {
+  print("WARNING: degrees of freedom is zero or negative");
+}
+
+plain_R2 = ss_res / ss_tot;
+if (intercept == 1) {
+  plain_R2 = R2_nobias;
+}
+
+print("AVG_TOT_Y " + avg_tot);
+print("STDEV_TOT_Y " + sqrt(var_tot));
+print("AVG_RES_Y " + avg_res);
+print("R2 " + R2);
+print("DISPERSION " + dispersion);
+
+write(beta, $B);
+`
+
+const linregCGSource = `# Linear regression, conjugate gradient on the normal equations.
+# Iterates q = t(X) (X p) matrix-vector products; IO bound and thus
+# profits from a CP memory large enough to pin X.
+X = read($X);
+y = read($Y);
+intercept = $icpt;
+lambda = $reg;
+tolerance = $tol;
+max_iteration = $maxi;
+
+n = nrow(X);
+m = ncol(X);
+m_ext = m;
+
+if (intercept == 1) {
+  ones = matrix(1, rows=n, cols=1);
+  X = append(X, ones);
+  m_ext = m_ext + 1;
+}
+
+# initialize the CG state
+beta = matrix(0, rows=m_ext, cols=1);
+r = -(t(X) %*% y);
+p = -r;
+norm_r2 = sum(r ^ 2);
+norm_r2_initial = norm_r2;
+norm_r2_target = norm_r2_initial * tolerance ^ 2;
+
+i = 0;
+continue = TRUE;
+while (continue & i < max_iteration) {
+  # matrix-vector product core: q = t(X) (X p) + lambda p
+  Xp = X %*% p;
+  q = t(X) %*% Xp;
+  q = q + lambda * p;
+
+  a = norm_r2 / sum(p * q);
+  beta = beta + a * p;
+  r = r + a * q;
+  old_norm_r2 = norm_r2;
+  norm_r2 = sum(r ^ 2);
+
+  if (norm_r2 < norm_r2_target) {
+    continue = FALSE;
+  }
+  bt = norm_r2 / old_norm_r2;
+  p = -r + bt * p;
+  i = i + 1;
+}
+
+if (i >= max_iteration) {
+  print("WARNING: maximum iterations reached " + i);
+}
+
+# ----- model diagnostics -----
+y_residual = y - X %*% beta;
+avg_tot = sum(y) / n;
+ss_tot = sum(y ^ 2);
+ss_avg_tot = ss_tot - n * avg_tot ^ 2;
+var_tot = ss_avg_tot / (n - 1);
+avg_res = sum(y_residual) / n;
+ss_res = sum(y_residual ^ 2);
+ss_avg_res = ss_res - n * avg_res ^ 2;
+
+R2 = 1 - ss_res / ss_avg_tot;
+dispersion = ss_res / (n - m_ext);
+adjusted_R2 = 1 - dispersion / var_tot;
+
+if (intercept == 1) {
+  R2_nobias = 1 - ss_avg_res / ss_avg_tot;
+  print("R2_NOBIAS " + R2_nobias);
+} else {
+  print("R2_PLAIN " + R2);
+}
+
+print("ITERATIONS " + i);
+print("NORM_R2 " + norm_r2);
+print("AVG_RES_Y " + avg_res);
+print("DISPERSION " + dispersion);
+
+write(beta, $B);
+`

@@ -1,0 +1,116 @@
+package scripts
+
+// MLogreg returns the multinomial logistic regression program. The
+// indicator matrix Y = table(seq(1,n), y) has a data-dependent number of
+// columns (the class count k), so sizes of all downstream intermediates are
+// unknown during initial compilation — the paper's driving example for
+// runtime resource adaptation (§4).
+func MLogreg() Spec {
+	p := defaultParams()
+	p["Y"] = "/data/y_labels"
+	return Spec{Name: "MLogreg", Source: mlogregSource, Params: p,
+		HasUnknowns: true, Iterative: true}
+}
+
+const mlogregSource = `# Multinomial logistic regression (softmax with baseline class),
+# Newton-CG: an outer iteration recomputes probabilities and gradient, an
+# inner CG loop solves the Hessian system via Hessian-vector products.
+X = read($X);
+y = read($Y);
+intercept = $icpt;
+lambda = $reg;
+tol = $tol;
+moi = $moi;
+mii = $mii;
+
+n = nrow(X);
+m = ncol(X);
+
+if (intercept == 1) {
+  ones = matrix(1, rows=n, cols=1);
+  X = append(X, ones);
+  m = m + 1;
+}
+
+# contingency-table/sequence: data-dependent class count k = ncol(Y)
+Y = table(seq(1, n, 1), y);
+k = ncol(Y);
+K = k - 1;
+
+B = matrix(0, rows=m, cols=K);
+
+# trust-region style scale initialization
+scale_X = rowSums(X ^ 2);
+delta = 0.5 * sqrt(m) / max(sqrt(scale_X), 1);
+
+# initial uniform probabilities and objective
+P = matrix(1, rows=n, cols=k);
+P = P / k;
+obj = n * log(k);
+
+grad = t(X) %*% (P[, 1:K] - Y[, 1:K]);
+grad = grad + lambda * B;
+norm_grad = sqrt(sum(grad ^ 2));
+norm_grad_initial = norm_grad;
+exit_grad = tol * norm_grad_initial;
+
+outer_iter = 0;
+outer_continue = TRUE;
+while (outer_continue & outer_iter < moi) {
+  # ----- inner conjugate gradient on the Hessian system -----
+  V = matrix(0, rows=m, cols=K);
+  R = -grad;
+  S = R;
+  norm_r2 = sum(R ^ 2);
+  inner_iter = 0;
+  inner_continue = TRUE;
+  while (inner_continue & inner_iter < mii) {
+    # Hessian-vector product via probabilities
+    Q = P[, 1:K] * (X %*% S);
+    HS = t(X) %*% (Q - P[, 1:K] * (rowSums(Q) %*% matrix(1, rows=1, cols=K)));
+    HS = HS + lambda * S;
+    alpha = norm_r2 / sum(S * HS);
+    V = V + alpha * S;
+    R = R - alpha * HS;
+    old_norm_r2 = norm_r2;
+    norm_r2 = sum(R ^ 2);
+    if (norm_r2 < tol * tol * sum(V ^ 2) + 0.0000000001) {
+      inner_continue = FALSE;
+    }
+    beta_cg = norm_r2 / old_norm_r2;
+    S = R + beta_cg * S;
+    inner_iter = inner_iter + 1;
+  }
+
+  # ----- candidate update and new probabilities -----
+  B_new = B + V;
+  LT = X %*% B_new;
+  E = exp(LT);
+  rowsum_E = rowSums(E) + 1;
+  P_k = E / (rowsum_E %*% matrix(1, rows=1, cols=K));
+  P_base = 1 / rowsum_E;
+  P = append(P_k, P_base);
+
+  obj_new = -sum(Y[, 1:K] * LT) + sum(log(rowsum_E)) + lambda / 2 * sum(B_new ^ 2);
+
+  B = B_new;
+  obj_change = obj - obj_new;
+  obj = obj_new;
+
+  grad = t(X) %*% (P[, 1:K] - Y[, 1:K]);
+  grad = grad + lambda * B;
+  norm_grad = sqrt(sum(grad ^ 2));
+
+  if (norm_grad < exit_grad | obj_change < tol * (abs(obj) + tol)) {
+    outer_continue = FALSE;
+  }
+  outer_iter = outer_iter + 1;
+  print("OUTER " + outer_iter + ": OBJ=" + obj + " GRAD=" + norm_grad);
+}
+
+if (outer_iter >= moi) {
+  print("WARNING: maximum outer iterations reached");
+}
+
+write(B, $B);
+`

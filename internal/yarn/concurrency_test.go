@@ -1,0 +1,84 @@
+package yarn
+
+import (
+	"sync"
+	"testing"
+
+	"elasticml/internal/conf"
+)
+
+// TestConcurrentAllocateRelease hammers the RM from many goroutines and
+// verifies conservation of capacity (run with -race).
+func TestConcurrentAllocateRelease(t *testing.T) {
+	cc := conf.DefaultCluster()
+	rm := NewResourceManager(cc)
+	total := rm.AvailableMem()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var held []ContainerID
+			for i := 0; i < 200; i++ {
+				c, err := rm.Allocate(conf.Bytes(1+g%4) * conf.GB)
+				if err != nil {
+					// Cluster momentarily full: release what we hold.
+					for _, id := range held {
+						if err := rm.Release(id); err != nil {
+							t.Error(err)
+						}
+					}
+					held = held[:0]
+					continue
+				}
+				held = append(held, c.ID)
+				if len(held) > 8 {
+					if err := rm.Release(held[0]); err != nil {
+						t.Error(err)
+					}
+					held = held[1:]
+				}
+			}
+			for _, id := range held {
+				if err := rm.Release(id); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if rm.AvailableMem() != total {
+		t.Errorf("capacity leaked: %v != %v", rm.AvailableMem(), total)
+	}
+	if rm.AllocatedCount() != 0 {
+		t.Errorf("%d containers leaked", rm.AllocatedCount())
+	}
+}
+
+// TestThroughputInvariants: throughput never exceeds capacity/duration and
+// makespan is at least total work / capacity (property-style checks).
+func TestThroughputInvariants(t *testing.T) {
+	cc := conf.DefaultCluster()
+	for _, users := range []int{1, 3, 7, 50, 200} {
+		for _, heap := range []conf.Bytes{conf.GB, 8 * conf.GB, conf.BytesOfGB(53.3)} {
+			spec := ThroughputSpec{Users: users, AppsPerUser: 5, AMHeap: heap, Duration: 30}
+			res := SimulateThroughput(cc, spec)
+			capacity := MaxConcurrentApps(cc, heap)
+			maxRate := float64(capacity) / spec.Duration * 60
+			if res.AppsPerMinute > maxRate+1e-9 {
+				t.Errorf("users=%d heap=%v: rate %.2f exceeds capacity rate %.2f",
+					users, heap, res.AppsPerMinute, maxRate)
+			}
+			if res.MaxParallel > capacity {
+				t.Errorf("users=%d heap=%v: parallel %d > capacity %d",
+					users, heap, res.MaxParallel, capacity)
+			}
+			minMakespan := float64(users*5) * spec.Duration / float64(capacity)
+			if res.Makespan < minMakespan-1e-9 {
+				t.Errorf("users=%d heap=%v: makespan %.1f below lower bound %.1f",
+					users, heap, res.Makespan, minMakespan)
+			}
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package yarn simulates the request-based resource negotiation framework
+// the paper targets (§2.2): a per-cluster ResourceManager tracking node
+// capacities and min/max allocation constraints, container allocation and
+// release, and a discrete-event application scheduler used by the
+// throughput experiments (Figure 12, Table 6).
+package yarn
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+
+	"elasticml/internal/conf"
+)
+
+// ContainerID identifies an allocated container.
+type ContainerID int64
+
+// Container is a granted resource allocation on one node.
+type Container struct {
+	ID   ContainerID
+	Node int
+	Mem  conf.Bytes
+}
+
+// ResourceManager is the per-cluster daemon that schedules resource
+// requests against NodeManager capacities. It is safe for concurrent use.
+type ResourceManager struct {
+	mu        sync.Mutex
+	cc        conf.Cluster
+	freeMem   []conf.Bytes
+	nextID    ContainerID
+	allocated map[ContainerID]Container
+}
+
+// NewResourceManager returns an RM for the given cluster configuration.
+func NewResourceManager(cc conf.Cluster) *ResourceManager {
+	free := make([]conf.Bytes, cc.Nodes)
+	for i := range free {
+		free[i] = cc.MemPerNode
+	}
+	return &ResourceManager{cc: cc, freeMem: free, allocated: make(map[ContainerID]Container)}
+}
+
+// Cluster returns the cluster configuration (what the resource optimizer
+// obtains from the RM in step 1, paper §2.4).
+func (rm *ResourceManager) Cluster() conf.Cluster { return rm.cc }
+
+// Allocate grants a container of the requested memory, clamped to the
+// cluster's min/max allocation constraints, on the node with the most free
+// memory (worst-fit keeps large allocations feasible). It returns an error
+// if no node currently has capacity.
+func (rm *ResourceManager) Allocate(mem conf.Bytes) (Container, error) {
+	req := rm.clamp(mem)
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	best := -1
+	for i, free := range rm.freeMem {
+		if free >= req && (best < 0 || free > rm.freeMem[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Container{}, fmt.Errorf("yarn: no node can satisfy %v (max free %v)", req, rm.maxFreeLocked())
+	}
+	rm.freeMem[best] -= req
+	rm.nextID++
+	c := Container{ID: rm.nextID, Node: best, Mem: req}
+	rm.allocated[c.ID] = c
+	return c, nil
+}
+
+func (rm *ResourceManager) clamp(mem conf.Bytes) conf.Bytes {
+	if mem < rm.cc.MinAlloc {
+		mem = rm.cc.MinAlloc
+	}
+	if mem > rm.cc.MaxAlloc {
+		mem = rm.cc.MaxAlloc
+	}
+	return mem
+}
+
+func (rm *ResourceManager) maxFreeLocked() conf.Bytes {
+	var m conf.Bytes
+	for _, f := range rm.freeMem {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// Release returns a container's resources to its node.
+func (rm *ResourceManager) Release(id ContainerID) error {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	c, ok := rm.allocated[id]
+	if !ok {
+		return fmt.Errorf("yarn: release of unknown container %d", id)
+	}
+	delete(rm.allocated, id)
+	rm.freeMem[c.Node] += c.Mem
+	return nil
+}
+
+// AvailableMem returns the aggregate free memory across nodes.
+func (rm *ResourceManager) AvailableMem() conf.Bytes {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	var total conf.Bytes
+	for _, f := range rm.freeMem {
+		total += f
+	}
+	return total
+}
+
+// AllocatedCount returns the number of live containers.
+func (rm *ResourceManager) AllocatedCount() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return len(rm.allocated)
+}
+
+// MaxConcurrentApps returns how many applications with the given AM
+// container request can run simultaneously — the application-parallelism
+// arithmetic of the throughput experiment (paper §5.3):
+// nodes * floor(nodeMem / containerSize).
+func MaxConcurrentApps(cc conf.Cluster, amHeap conf.Bytes) int {
+	per := int(cc.MemPerNode / cc.ContainerSize(amHeap))
+	return per * cc.Nodes
+}
+
+// ThroughputSpec describes a multi-user throughput experiment: each of
+// Users drivers submits AppsPerUser applications back-to-back; every
+// application requests one AM container of AMHeap max heap (1.5x container
+// request) and holds it for Duration seconds.
+type ThroughputSpec struct {
+	Users       int
+	AppsPerUser int
+	AMHeap      conf.Bytes
+	Duration    float64
+}
+
+// ThroughputResult reports the simulated outcome.
+type ThroughputResult struct {
+	// Makespan is the total driver execution time in seconds.
+	Makespan float64
+	// AppsPerMinute is total applications / makespan minutes.
+	AppsPerMinute float64
+	// MaxParallel is the peak number of concurrently running apps.
+	MaxParallel int
+}
+
+// event is a discrete-event entry: at Time, the app of user U finishes.
+type event struct {
+	time float64
+	user int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// SimulateThroughput runs the discrete-event FIFO scheduling of the
+// throughput experiment and returns the achieved throughput. Applications
+// that cannot obtain a container queue in submission order.
+func SimulateThroughput(cc conf.Cluster, spec ThroughputSpec) ThroughputResult {
+	if spec.Users <= 0 || spec.AppsPerUser <= 0 || spec.Duration <= 0 {
+		return ThroughputResult{}
+	}
+	container := cc.ContainerSize(spec.AMHeap)
+	capacity := MaxConcurrentApps(cc, spec.AMHeap)
+	_ = container
+
+	remaining := make([]int, spec.Users) // apps left per user
+	for i := range remaining {
+		remaining[i] = spec.AppsPerUser
+	}
+	var (
+		clock    float64
+		running  int
+		maxPar   int
+		finished int
+		queue    []int // user indices waiting for a container
+		events   eventHeap
+	)
+	total := spec.Users * spec.AppsPerUser
+
+	start := func(user int, now float64) {
+		remaining[user]--
+		running++
+		if running > maxPar {
+			maxPar = running
+		}
+		heap.Push(&events, event{time: now + spec.Duration, user: user})
+	}
+
+	// All users submit their first app at t=0.
+	for u := 0; u < spec.Users; u++ {
+		if running < capacity {
+			start(u, 0)
+		} else {
+			queue = append(queue, u)
+		}
+	}
+	for finished < total {
+		ev := heap.Pop(&events).(event)
+		clock = ev.time
+		running--
+		finished++
+		// The finishing user immediately submits its next app (queued).
+		if remaining[ev.user] > 0 {
+			queue = append(queue, ev.user)
+		}
+		// Admit queued apps while capacity allows.
+		for len(queue) > 0 && running < capacity {
+			u := queue[0]
+			queue = queue[1:]
+			start(u, clock)
+		}
+	}
+	res := ThroughputResult{Makespan: clock, MaxParallel: maxPar}
+	if clock > 0 {
+		res.AppsPerMinute = float64(total) / (clock / 60)
+	}
+	return res
+}

@@ -1,0 +1,135 @@
+package yarn
+
+import (
+	"math"
+	"testing"
+
+	"elasticml/internal/conf"
+)
+
+func TestAllocateReleaseAccounting(t *testing.T) {
+	cc := conf.DefaultCluster()
+	rm := NewResourceManager(cc)
+	total := rm.AvailableMem()
+	c, err := rm.Allocate(10 * conf.GB)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if c.Mem != 10*conf.GB {
+		t.Errorf("container mem = %v", c.Mem)
+	}
+	if rm.AvailableMem() != total-10*conf.GB {
+		t.Errorf("available after alloc = %v", rm.AvailableMem())
+	}
+	if rm.AllocatedCount() != 1 {
+		t.Errorf("allocated count = %d", rm.AllocatedCount())
+	}
+	if err := rm.Release(c.ID); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if rm.AvailableMem() != total {
+		t.Errorf("available after release = %v", rm.AvailableMem())
+	}
+	if err := rm.Release(c.ID); err == nil {
+		t.Fatal("double release should fail")
+	}
+}
+
+func TestAllocateClampsToConstraints(t *testing.T) {
+	cc := conf.DefaultCluster()
+	rm := NewResourceManager(cc)
+	c, err := rm.Allocate(1 * conf.KB)
+	if err != nil {
+		t.Fatalf("Allocate tiny: %v", err)
+	}
+	if c.Mem != cc.MinAlloc {
+		t.Errorf("tiny request got %v, want min alloc %v", c.Mem, cc.MinAlloc)
+	}
+	c2, err := rm.Allocate(500 * conf.GB)
+	if err != nil {
+		t.Fatalf("Allocate huge: %v", err)
+	}
+	if c2.Mem != cc.MaxAlloc {
+		t.Errorf("huge request got %v, want max alloc %v", c2.Mem, cc.MaxAlloc)
+	}
+}
+
+func TestAllocateExhaustion(t *testing.T) {
+	cc := conf.DefaultCluster()
+	rm := NewResourceManager(cc)
+	// Each node holds exactly one 80GB container.
+	for i := 0; i < cc.Nodes; i++ {
+		if _, err := rm.Allocate(80 * conf.GB); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := rm.Allocate(80 * conf.GB); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	// Small containers still fail: nodes are full.
+	if _, err := rm.Allocate(512 * conf.MB); err == nil {
+		t.Fatal("expected exhaustion for small alloc too")
+	}
+}
+
+func TestMaxConcurrentAppsMatchesPaper(t *testing.T) {
+	cc := conf.DefaultCluster()
+	// Paper §5.3: 8GB CP heap -> 6*floor(80/(1.5*8)) = 36 apps;
+	// 4GB -> 6*13 = 78; B-LL 53.3GB -> 6.
+	if got := MaxConcurrentApps(cc, 8*conf.GB); got != 36 {
+		t.Errorf("8GB: %d apps, want 36", got)
+	}
+	if got := MaxConcurrentApps(cc, 4*conf.GB); got != 78 {
+		t.Errorf("4GB: %d apps, want 78", got)
+	}
+	if got := MaxConcurrentApps(cc, conf.BytesOfGB(53.3)); got != 6 {
+		t.Errorf("53.3GB: %d apps, want 6", got)
+	}
+}
+
+func TestThroughputSaturation(t *testing.T) {
+	cc := conf.DefaultCluster()
+	// B-LL-like: capacity 6 concurrent apps of 60s each.
+	spec := ThroughputSpec{Users: 32, AppsPerUser: 8, AMHeap: conf.BytesOfGB(53.3), Duration: 60}
+	res := SimulateThroughput(cc, spec)
+	if res.MaxParallel != 6 {
+		t.Errorf("MaxParallel = %d, want 6", res.MaxParallel)
+	}
+	// Saturated throughput = capacity / duration = 6 apps/min.
+	if math.Abs(res.AppsPerMinute-6) > 0.5 {
+		t.Errorf("AppsPerMinute = %.2f, want ~6", res.AppsPerMinute)
+	}
+
+	// Opt-like: capacity 36, same duration: ~6x the throughput.
+	opt := SimulateThroughput(cc, ThroughputSpec{Users: 32, AppsPerUser: 8, AMHeap: 8 * conf.GB, Duration: 60})
+	if opt.AppsPerMinute < 4*res.AppsPerMinute {
+		t.Errorf("Opt throughput %.2f not >> B-LL %.2f", opt.AppsPerMinute, res.AppsPerMinute)
+	}
+}
+
+func TestThroughputFewUsersNoDifference(t *testing.T) {
+	cc := conf.DefaultCluster()
+	// Paper: up to 4 users there is no difference between Opt and B-LL.
+	a := SimulateThroughput(cc, ThroughputSpec{Users: 4, AppsPerUser: 8, AMHeap: conf.BytesOfGB(53.3), Duration: 60})
+	b := SimulateThroughput(cc, ThroughputSpec{Users: 4, AppsPerUser: 8, AMHeap: 8 * conf.GB, Duration: 60})
+	if math.Abs(a.AppsPerMinute-b.AppsPerMinute) > 1e-9 {
+		t.Errorf("4 users: %.2f vs %.2f should be equal", a.AppsPerMinute, b.AppsPerMinute)
+	}
+}
+
+func TestThroughputDegenerate(t *testing.T) {
+	cc := conf.DefaultCluster()
+	if r := SimulateThroughput(cc, ThroughputSpec{}); r.Makespan != 0 || r.AppsPerMinute != 0 {
+		t.Errorf("degenerate spec should be zero: %+v", r)
+	}
+}
+
+func TestAllocatePrefersEmptiestNode(t *testing.T) {
+	cc := conf.DefaultCluster()
+	rm := NewResourceManager(cc)
+	c1, _ := rm.Allocate(40 * conf.GB)
+	c2, _ := rm.Allocate(40 * conf.GB)
+	if c1.Node == c2.Node {
+		t.Errorf("worst-fit should spread allocations, both on node %d", c1.Node)
+	}
+}

@@ -1,0 +1,24 @@
+# Developer entry points. `make check` is the full pre-merge gate: vet,
+# unit tests, and the race detector over the parallel optimizer and the
+# fault-injection/recovery paths.
+
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) run ./cmd/elastic-bench -quick -exp all

@@ -50,7 +50,11 @@ func main() {
 	}
 
 	cc := conf.DefaultCluster()
-	s := datagen.New(strings.ToUpper(*size), *cols, *sparsity)
+	s, err := datagen.Parse(strings.ToUpper(*size), *cols, *sparsity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elastic-opt:", err)
+		os.Exit(2)
+	}
 	fs := hdfs.New()
 	datagen.Describe(fs, s)
 

@@ -7,6 +7,7 @@
 //
 //	elastic-run -program LinregCG -size M -cp 16GB -mr 2GB
 //	elastic-run -program MLogreg -size M -classes 200 -optimize -adapt
+//	elastic-run -program MLogreg -size L -optimize -adapt -task-fail 0.05 -node-fail 0@30,1@60
 package main
 
 import (
@@ -20,9 +21,11 @@ import (
 	"elasticml/internal/conf"
 	"elasticml/internal/datagen"
 	"elasticml/internal/dml"
+	"elasticml/internal/fault"
 	"elasticml/internal/hdfs"
 	"elasticml/internal/hop"
 	"elasticml/internal/lop"
+	"elasticml/internal/mr"
 	"elasticml/internal/opt"
 	"elasticml/internal/rt"
 	"elasticml/internal/scripts"
@@ -41,6 +44,15 @@ func main() {
 		classes  = flag.Int64("classes", 20, "label cardinality (table() output width)")
 		verbose  = flag.Bool("v", false, "stream program print() output")
 		explain  = flag.Bool("explain", false, "print the runtime plan before executing")
+
+		// Fault injection (all sampling is seeded and deterministic).
+		faultSeed   = flag.Int64("fault-seed", 42, "fault injection RNG seed")
+		taskFail    = flag.Float64("task-fail", 0, "per-attempt MR task failure probability")
+		straggle    = flag.Float64("straggle", 0, "per-task straggler probability")
+		stragFactor = flag.Float64("straggle-factor", 6, "straggler slowdown factor")
+		hdfsFail    = flag.Float64("hdfs-fail", 0, "transient HDFS read error probability")
+		nodeFail    = flag.String("node-fail", "", "injected node failures, e.g. 0@30,1@60 (node@seconds)")
+		maxAttempts = flag.Int("max-attempts", 0, "task attempts before job failure (0 = Hadoop default 4)")
 	)
 	flag.Parse()
 
@@ -50,9 +62,40 @@ func main() {
 		os.Exit(2)
 	}
 	cc := conf.DefaultCluster()
-	s := datagen.New(strings.ToUpper(*size), *cols, *sparsity)
+	s, err := datagen.Parse(strings.ToUpper(*size), *cols, *sparsity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elastic-run:", err)
+		os.Exit(2)
+	}
 	fs := hdfs.New()
 	datagen.Describe(fs, s)
+
+	fplan := fault.Plan{
+		Seed:              *faultSeed,
+		TaskFailureProb:   *taskFail,
+		StragglerProb:     *straggle,
+		StragglerFactor:   *stragFactor,
+		HDFSReadErrorProb: *hdfsFail,
+	}
+	if *nodeFail != "" {
+		for _, part := range strings.Split(*nodeFail, ",") {
+			var node int
+			var at float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d@%g", &node, &at); err != nil {
+				fmt.Fprintf(os.Stderr, "elastic-run: bad -node-fail entry %q (want node@seconds)\n", part)
+				os.Exit(2)
+			}
+			fplan.NodeFailures = append(fplan.NodeFailures, fault.NodeFailure{Node: node, At: at})
+		}
+	}
+	var inj *fault.Injector
+	if fplan.Enabled() {
+		inj, err = fault.NewInjector(fplan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elastic-run:", err)
+			os.Exit(2)
+		}
+	}
 
 	prog, err := dml.Parse(spec.Source)
 	if err != nil {
@@ -99,6 +142,10 @@ func main() {
 		ad = adapt.New(cc)
 		ip.Adapter = ad
 	}
+	if inj != nil {
+		ip.Faults = inj
+		ip.Policy = mr.TaskPolicy{MaxAttempts: *maxAttempts, Speculative: true}
+	}
 	if err := ip.Run(plan); err != nil {
 		fatal(err)
 	}
@@ -109,8 +156,13 @@ func main() {
 	fmt.Printf("execution:  %d instructions, %d MR jobs, %d recompilations, %d migrations\n",
 		ip.Stats.Instructions, ip.Stats.MRJobs, ip.Stats.Recompiles, ip.Stats.Migrations)
 	if ad != nil && ad.Stats.Reoptimizations > 0 {
-		fmt.Printf("adaptation: %d re-optimizations (%v), %d migrations (%.1f s)\n",
-			ad.Stats.Reoptimizations, ad.Stats.OptTime, ad.Stats.Migrations, ad.Stats.MigrationTime)
+		fmt.Printf("adaptation: %d re-optimizations (%d after node loss), %d migrations (%.1f s)\n",
+			ad.Stats.Reoptimizations, ad.Stats.ContainerLossReopts, ad.Stats.Migrations, ad.Stats.MigrationTime)
+	}
+	if inj != nil {
+		fmt.Printf("recovery:   %d node failures, %d task retries, %d stragglers (%d speculated), %d HDFS retries, %.1f s re-executed\n",
+			ip.Stats.NodeFailures, ip.Stats.TaskRetries, ip.Stats.Stragglers,
+			ip.Stats.Speculated, ip.Stats.HDFSRetries, ip.Stats.RecoverySeconds)
 	}
 }
 

@@ -23,6 +23,9 @@ import (
 type Stats struct {
 	// Reoptimizations counts resource re-optimization runs.
 	Reoptimizations int
+	// ContainerLossReopts counts re-optimizations triggered by node
+	// failures (graceful degradation to a smaller cluster).
+	ContainerLossReopts int
 	// Migrations counts AM runtime migrations.
 	Migrations int
 	// OptTime is the cumulative re-optimization wall time.
@@ -52,6 +55,11 @@ type Adapter struct {
 	// remaining capacity (§6 "Cluster-Utilization-Based Adaptation"),
 	// shifting decisions toward single-node execution on loaded clusters.
 	LoadProvider func() float64
+	// OptCharge is the simulated time charged per re-optimization. Negative
+	// (the default) charges the measured wall-clock time — realistic but
+	// non-deterministic; fault-injection experiments set a fixed charge ≥ 0
+	// so same-seed runs report byte-identical simulated times.
+	OptCharge float64
 
 	Stats Stats
 	chain []yarn.Container
@@ -59,7 +67,7 @@ type Adapter struct {
 
 // New returns an adapter with the paper's defaults.
 func New(cc conf.Cluster) *Adapter {
-	return &Adapter{CC: cc, PM: perf.Default(), Opt: opt.DefaultOptions(), MinBenefit: 1.0}
+	return &Adapter{CC: cc, PM: perf.Default(), Opt: opt.DefaultOptions(), MinBenefit: 1.0, OptCharge: -1}
 }
 
 var _ rt.Adapter = (*Adapter)(nil)
@@ -82,15 +90,29 @@ func (a *Adapter) Adapt(ctx *rt.AdaptContext) *rt.AdaptDecision {
 	if a.LoadProvider != nil {
 		opts.ClusterLoad = a.LoadProvider()
 	}
-	o := &opt.Optimizer{CC: a.CC, Opts: opts}
+	// Re-optimize against the interpreter's cluster view: after node
+	// failures it is smaller than the configuration the adapter was built
+	// for, and the new R* must fit the surviving capacity.
+	cc := a.CC
+	if ctx.CC.Nodes > 0 {
+		cc = ctx.CC
+	}
+	o := &opt.Optimizer{CC: cc, Opts: opts}
 	global, local := o.OptimizeWithCurrent(scopeProg, ctx.Res.CP)
 	a.Stats.Reoptimizations++
+	if ctx.Trigger == rt.TriggerContainerLoss {
+		a.Stats.ContainerLossReopts++
+	}
 	a.Stats.OptTime += time.Since(start)
 	if global == nil || local == nil {
 		return nil
 	}
 
-	dec := &rt.AdaptDecision{ExtraTime: time.Since(start).Seconds()}
+	extra := time.Since(start).Seconds()
+	if a.OptCharge >= 0 {
+		extra = a.OptCharge
+	}
+	dec := &rt.AdaptDecision{ExtraTime: extra}
 	// Migration costs: export of dirty live variables plus the latency of
 	// obtaining a new container (paper §4.2).
 	migCost := a.PM.WriteTime(ctx.DirtyBytes, 1) + a.PM.ContainerAllocLatency

@@ -29,6 +29,7 @@ func (r *Runner) Experiments() []struct {
 		{"table5", r.Table5},
 		{"table6", r.Table6},
 		{"ablations", r.Ablations},
+		{"failures", r.FailureSweep},
 	}
 }
 

@@ -16,9 +16,11 @@ import (
 	"elasticml/internal/conf"
 	"elasticml/internal/datagen"
 	"elasticml/internal/dml"
+	"elasticml/internal/fault"
 	"elasticml/internal/hdfs"
 	"elasticml/internal/hop"
 	"elasticml/internal/lop"
+	"elasticml/internal/mr"
 	"elasticml/internal/opt"
 	"elasticml/internal/rt"
 	"elasticml/internal/scripts"
@@ -90,6 +92,15 @@ type RunConfig struct {
 	Adapt bool
 	// Classes is the label cardinality driving table() output sizes.
 	Classes int64
+	// Faults injects failures into the run (zero value: no injection).
+	Faults fault.Plan
+	// Policy governs task-level retry under fault injection; the zero
+	// value normalizes to Hadoop-like defaults.
+	Policy mr.TaskPolicy
+	// OptCharge, when > 0, makes the adapter charge this fixed simulated
+	// time per re-optimization instead of measured wall time, so same-seed
+	// runs report identical simulated seconds.
+	OptCharge float64
 }
 
 // RunResult is one end-to-end measurement.
@@ -109,6 +120,17 @@ type RunResult struct {
 	MRJobs int
 	// OptStats carries the optimizer statistics when Optimize was set.
 	OptStats opt.Stats
+	// SimSeconds is the simulated execution time alone — deterministic
+	// under a fixed fault seed, unlike Seconds which includes real
+	// optimization wall time.
+	SimSeconds float64
+	// Fault-recovery activity (zero without injection).
+	NodeFailures, TaskRetries, Stragglers, HDFSRetries int
+	// ContainerLossReopts counts re-optimizations triggered by node loss.
+	ContainerLossReopts int
+	// RecoverySeconds is the simulated time spent re-executing failed or
+	// straggling work (included in SimSeconds).
+	RecoverySeconds float64
 }
 
 // EndToEnd measures one program/scenario/configuration combination via the
@@ -141,20 +163,41 @@ func (r *Runner) EndToEnd(spec scripts.Spec, s datagen.Scenario, cfg RunConfig) 
 	if cfg.Classes > 0 {
 		ip.SimTableCols = cfg.Classes
 	}
+	var ad *adapt.Adapter
 	if cfg.Adapt {
-		ad := adapt.New(r.CC)
+		ad = adapt.New(r.CC)
 		if r.Quick {
 			ad.Opt.Points = 7
 		}
+		if cfg.OptCharge > 0 {
+			ad.OptCharge = cfg.OptCharge
+		}
 		ip.Adapter = ad
+	}
+	if cfg.Faults.Enabled() {
+		inj, err := fault.NewInjector(cfg.Faults)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("bench: fault plan: %w", err)
+		}
+		ip.Faults = inj
+		ip.Policy = cfg.Policy
 	}
 	if err := ip.Run(plan); err != nil {
 		return RunResult{}, fmt.Errorf("bench: %s on %s: %w", spec.Name, s, err)
 	}
 	out.Seconds = ip.SimTime + out.OptSeconds
+	out.SimSeconds = ip.SimTime
 	out.FinalRes = ip.Res.Clone()
 	out.Migrations = ip.Stats.Migrations
 	out.MRJobs = ip.Stats.MRJobs
+	out.NodeFailures = ip.Stats.NodeFailures
+	out.TaskRetries = ip.Stats.TaskRetries
+	out.Stragglers = ip.Stats.Stragglers
+	out.HDFSRetries = ip.Stats.HDFSRetries
+	out.RecoverySeconds = ip.Stats.RecoverySeconds
+	if ad != nil {
+		out.ContainerLossReopts = ad.Stats.ContainerLossReopts
+	}
 	return out, nil
 }
 

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFailureSweepDeterministic is the seed-determinism regression test:
+// every stochastic component behind the sweep (fault sampling, optimizer,
+// adaptation charges) is seeded or fixed, so two runs must produce
+// byte-identical reports.
+func TestFailureSweepDeterministic(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		r := New(&buf)
+		r.Quick = true
+		if err := r.FailureSweep(); err != nil {
+			t.Fatalf("sweep: %v\n%s", err, buf.String())
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same-seed sweeps diverged:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+
+	// The robustness story must be present in the report: the no-retry
+	// baseline aborts under injected task failures while the adaptive
+	// runtime recovers (non-zero retries) and re-optimizes after node loss.
+	if !strings.Contains(a, "ABORT") {
+		t.Error("no-retry baseline never aborted")
+	}
+	if !strings.Contains(a, "Node-failure recovery") {
+		t.Error("node-failure section missing")
+	}
+	sawRetries := false
+	for _, line := range strings.Split(a, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 6 && f[1] == "ABORT" && f[3] != "0" {
+			sawRetries = true
+		}
+	}
+	if !sawRetries {
+		t.Error("no row where the baseline aborted but Opt+ReOpt retried through")
+	}
+}

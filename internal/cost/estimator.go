@@ -35,6 +35,12 @@ type Estimator struct {
 	Invocations int
 }
 
+// EffectiveCluster returns the cluster configuration with the node count
+// shrunk by the available fraction — the cluster the MR phase model is
+// charged against. Exported so the execution simulator can feed the same
+// cluster view into the fault-aware task-attempt model.
+func (e *Estimator) EffectiveCluster() conf.Cluster { return e.effectiveCluster() }
+
 // effectiveCluster shrinks the node count by the available fraction.
 func (e *Estimator) effectiveCluster() conf.Cluster {
 	cc := e.CC
@@ -217,6 +223,19 @@ func (e *Estimator) CPInstrTime(h *hop.Hop, state *VarState, inJob map[int64]*lo
 // MRJobTime assembles the job specification and charges the MR phase model.
 func (e *Estimator) MRJobTime(job *lop.MRJob, b *lop.Block, res conf.Resources,
 	state *VarState, uses map[int64][]*hop.Hop, inJob map[int64]*lop.MRJob) float64 {
+	spec, taskHeap := e.MRJobSpec(job, b, res, state, uses, inJob)
+	bd := mr.EstimateTime(e.PM, e.effectiveCluster(), spec, taskHeap, res.CP)
+	return bd.Total()
+}
+
+// MRJobSpec assembles the analytic job specification for one MR-job
+// instruction, applying the variable-state transitions (dirty-variable
+// exports, HDFS materialization of consumed outputs) as a side effect. It
+// is exported so the execution simulator can route the same specification
+// through the fault-aware task-attempt model (mr.EstimateTimeUnderFaults)
+// instead of the plain phase model.
+func (e *Estimator) MRJobSpec(job *lop.MRJob, b *lop.Block, res conf.Resources,
+	state *VarState, uses map[int64][]*hop.Hop, inJob map[int64]*lop.MRJob) (mr.JobSpec, conf.Bytes) {
 	spec := mr.JobSpec{Name: job.Name(), NumReducers: 0}
 	taskHeap := res.MRFor(b.Index)
 
@@ -271,8 +290,7 @@ func (e *Estimator) MRJobTime(job *lop.MRJob, b *lop.Block, res conf.Resources,
 	if shuffles {
 		spec.NumReducers = e.CC.Reducers
 	}
-	bd := mr.EstimateTime(e.PM, e.effectiveCluster(), spec, taskHeap, res.CP)
-	return bd.Total()
+	return spec, taskHeap
 }
 
 func jobOutKey(h *hop.Hop) string { return fmt.Sprintf("#%d", h.ID) }

@@ -33,13 +33,31 @@ var cellsOf = map[string]int64{
 	"XS": 1e7, "S": 1e8, "M": 1e9, "L": 1e10, "XL": 1e11,
 }
 
-// New builds a scenario from its label, column count and sparsity.
+// New builds a scenario from its label, column count and sparsity. The
+// label must be valid; command-line entry points validate via Parse.
 func New(size string, cols int64, sparsity float64) Scenario {
+	s, err := Parse(size, cols, sparsity)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// Parse builds a scenario from possibly-invalid user input, returning an
+// error instead of panicking on an unknown size label or degenerate
+// dimensions.
+func Parse(size string, cols int64, sparsity float64) (Scenario, error) {
 	cells, ok := cellsOf[size]
 	if !ok {
-		panic(fmt.Sprintf("datagen: unknown scenario size %q", size))
+		return Scenario{}, fmt.Errorf("datagen: unknown scenario size %q (want one of %v)", size, Sizes)
 	}
-	return Scenario{Size: size, Cells: cells, Cols: cols, Sparsity: sparsity}
+	if cols < 1 || cols > cells {
+		return Scenario{}, fmt.Errorf("datagen: column count %d out of range for scenario %s", cols, size)
+	}
+	if sparsity <= 0 || sparsity > 1 {
+		return Scenario{}, fmt.Errorf("datagen: sparsity %g outside (0,1]", sparsity)
+	}
+	return Scenario{Size: size, Cells: cells, Cols: cols, Sparsity: sparsity}, nil
 }
 
 // Rows returns the row count (Cells / Cols).

@@ -6,6 +6,7 @@
 package hdfs
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -13,6 +14,10 @@ import (
 	"elasticml/internal/conf"
 	"elasticml/internal/matrix"
 )
+
+// ErrTransientRead is the injected transient failure of a DFS read (a
+// flaky DataNode connection); clients recover by re-reading the replica.
+var ErrTransientRead = errors.New("hdfs: transient read error")
 
 // Format is the on-disk file format.
 type Format int
@@ -83,6 +88,10 @@ type FS struct {
 	// IO accounting for tests and experiment reports.
 	bytesRead    conf.Bytes
 	bytesWritten conf.Bytes
+
+	// readFault, when set, is sampled before each Read; a true draw fails
+	// the read with ErrTransientRead (fault injection hook).
+	readFault func() bool
 }
 
 // New returns an empty file system.
@@ -130,16 +139,54 @@ func (fs *FS) Stat(name string) (*File, error) {
 	return f, nil
 }
 
-// Read returns the file and accounts the read bytes.
+// SetReadFault installs (or, with nil, removes) the transient-read fault
+// sampler. The signature matches fault.Injector.HDFSReadFails.
+func (fs *FS) SetReadFault(fn func() bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.readFault = fn
+}
+
+// Read returns the file and accounts the read bytes. With a read-fault
+// sampler installed, a failed draw returns ErrTransientRead before any
+// bytes are accounted.
 func (fs *FS) Read(name string) (*File, error) {
 	f, err := fs.Stat(name)
 	if err != nil {
 		return nil, err
 	}
 	fs.mu.Lock()
+	fault := fs.readFault
+	fs.mu.Unlock()
+	if fault != nil && fault() {
+		return nil, fmt.Errorf("hdfs: read %q: %w", name, ErrTransientRead)
+	}
+	fs.mu.Lock()
 	fs.bytesRead += f.SizeOnDisk()
 	fs.mu.Unlock()
 	return f, nil
+}
+
+// ReadWithRetry reads the file, retrying transient errors up to attempts
+// times total (HDFS clients fail over to another replica). It returns the
+// file, the number of retries taken, and the final error; non-transient
+// errors (missing files) fail immediately.
+func (fs *FS) ReadWithRetry(name string, attempts int) (*File, int, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		var f *File
+		f, err = fs.Read(name)
+		if err == nil {
+			return f, i, nil
+		}
+		if !errors.Is(err, ErrTransientRead) {
+			return nil, i, err
+		}
+	}
+	return nil, attempts - 1, fmt.Errorf("hdfs: %d attempts: %w", attempts, err)
 }
 
 // Delete removes the file; deleting a missing file is an error.

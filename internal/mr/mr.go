@@ -102,12 +102,17 @@ type TimeBreakdown struct {
 	Shuffle     float64
 	ReduceCompute,
 	ReduceWrite float64
+	// Recovery is the re-execution cost of injected task failures and
+	// stragglers: retried attempt work, straggler tail latency, and the
+	// extra task-launch waves of retries (0 without fault injection).
+	Recovery float64
 }
 
 // Total returns the summed job time.
 func (t TimeBreakdown) Total() float64 {
 	return t.JobLatency + t.TaskLatency + t.Export + t.MapRead + t.Broadcast +
-		t.MapCompute + t.MapWrite + t.Shuffle + t.ReduceCompute + t.ReduceWrite
+		t.MapCompute + t.MapWrite + t.Shuffle + t.ReduceCompute + t.ReduceWrite +
+		t.Recovery
 }
 
 // EstimateTime evaluates the analytic job time model for the given spec,

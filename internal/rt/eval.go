@@ -62,9 +62,17 @@ func (e *env) compute(h *hop.Hop) (*Value, error) {
 		return v, nil
 
 	case hop.KindRead:
-		f, err := ip.FS.Read(h.Name)
+		f, retries, err := ip.FS.ReadWithRetry(h.Name, ip.readAttempts())
 		if err != nil {
 			return nil, err
+		}
+		if retries > 0 {
+			// Each transient failure re-reads one DFS block from another
+			// replica; charge the re-read into the recovery budget.
+			ip.Stats.HDFSRetries += retries
+			penalty := ip.Est.PM.ReadTime(ip.CC.HDFSBlockSize, 1) * float64(retries)
+			ip.SimTime += penalty
+			ip.Stats.RecoverySeconds += penalty
 		}
 		if ip.Mode == ModeValue {
 			if f.Data == nil {

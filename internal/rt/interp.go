@@ -1,16 +1,23 @@
 package rt
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
 	"elasticml/internal/conf"
 	"elasticml/internal/cost"
 	"elasticml/internal/dml"
+	"elasticml/internal/fault"
 	"elasticml/internal/hdfs"
 	"elasticml/internal/hop"
 	"elasticml/internal/lop"
+	"elasticml/internal/mr"
 )
+
+// ErrClusterLost aborts execution when a node failure takes out the last
+// live worker node: no resource configuration can complete the program.
+var ErrClusterLost = errors.New("rt: all cluster nodes failed")
 
 // Stats aggregates execution counters.
 type Stats struct {
@@ -18,10 +25,39 @@ type Stats struct {
 	MRJobs       int
 	Recompiles   int
 	Migrations   int
+
+	// Fault-recovery counters (0 without an injector).
+	NodeFailures int
+	TaskRetries  int
+	Stragglers   int
+	Speculated   int
+	HDFSRetries  int
+	// RecoverySeconds is the simulated time spent on re-execution of
+	// failed/straggling tasks and HDFS re-reads.
+	RecoverySeconds float64
+}
+
+// Trigger identifies why the adapter was consulted.
+type Trigger int
+
+const (
+	// TriggerRecompile: dynamic recompilation of a block still produced MR
+	// jobs (paper §4.2 — the initial configuration was off).
+	TriggerRecompile Trigger = iota
+	// TriggerContainerLoss: a node failure shrank the cluster; the adapter
+	// re-optimizes under the reduced capacity (graceful degradation).
+	TriggerContainerLoss
+)
+
+func (t Trigger) String() string {
+	if t == TriggerContainerLoss {
+		return "container-loss"
+	}
+	return "recompile"
 }
 
 // AdaptContext is handed to the resource adapter when a dynamic
-// recompilation produced MR jobs (paper §4.2).
+// recompilation produced MR jobs (paper §4.2) or the cluster lost a node.
 type AdaptContext struct {
 	// Plan is the currently executing plan.
 	Plan *lop.Plan
@@ -38,6 +74,12 @@ type AdaptContext struct {
 	DirtyBytes conf.Bytes
 	// Compiler recompiles re-optimization scopes from source.
 	Compiler *hop.Compiler
+	// Trigger is the adaptation cause.
+	Trigger Trigger
+	// CC is the interpreter's current cluster view — after node failures it
+	// is smaller than the configuration the plan was optimized for, and the
+	// adapter must re-optimize against it.
+	CC conf.Cluster
 }
 
 // AdaptDecision is the adapter's verdict.
@@ -85,6 +127,14 @@ type Interp struct {
 	SimLoopCap int
 	// Adapter, when set, is consulted for runtime resource adaptation.
 	Adapter Adapter
+	// Faults, when set, injects node failures (shrinking the cluster and
+	// triggering re-optimization), per-task failures/stragglers in MR jobs,
+	// and transient HDFS read errors.
+	Faults *fault.Injector
+	// Policy governs task-level failure handling of MR jobs under fault
+	// injection; the zero value selects Hadoop-like defaults (4 attempts,
+	// speculation on) via normalization.
+	Policy mr.TaskPolicy
 
 	plan        *lop.Plan
 	resChanged  bool
@@ -118,7 +168,22 @@ func (ip *Interp) Run(plan *lop.Plan) error {
 	if ip.Compiler == nil {
 		ip.Compiler = hop.NewCompiler(ip.FS, plan.HopProgram.Params)
 	}
+	if ip.Faults != nil && ip.Faults.Plan().HDFSReadErrorProb > 0 {
+		// Compilation is done (the compiler reads metadata via Stat); from
+		// here every payload read may fail transiently.
+		ip.FS.SetReadFault(ip.Faults.HDFSReadFails)
+		defer ip.FS.SetReadFault(nil)
+	}
 	return ip.execBlocks(plan.Blocks)
+}
+
+// readAttempts is the DFS read budget: with fault injection active, reads
+// retry like the task policy retries tasks; otherwise a single attempt.
+func (ip *Interp) readAttempts() int {
+	if ip.Faults == nil {
+		return 1
+	}
+	return ip.Policy.Normalized().MaxAttempts
 }
 
 func (ip *Interp) execBlocks(blocks []*lop.Block) error {
@@ -253,9 +318,13 @@ func (ip *Interp) snapshotMeta() hop.SymTab {
 	return meta
 }
 
-// execGeneric runs one generic block: dynamic recompilation if needed,
-// adaptation hook, time charging, and value/metadata evaluation.
+// execGeneric runs one generic block: node-failure delivery, dynamic
+// recompilation if needed, adaptation hook, time charging, and
+// value/metadata evaluation.
 func (ip *Interp) execGeneric(b *lop.Block) error {
+	if err := ip.processNodeFailures(b); err != nil {
+		return err
+	}
 	exec := b
 	if b.Recompile || ip.resChanged {
 		hb, err := ip.Compiler.RecompileGeneric(b.HopBlock, ip.snapshotMeta())
@@ -267,7 +336,7 @@ func (ip *Interp) execGeneric(b *lop.Block) error {
 		// Runtime resource adaptation triggers only when the recompiled
 		// block still spawns MR jobs (paper §4.2).
 		if b.Recompile && ip.Adapter != nil && lop.NumMRJobs([]*lop.Block{exec}) > 0 {
-			ip.adapt(b)
+			ip.adapt(b, TriggerRecompile)
 			// Re-select under the (possibly) new resources.
 			exec = lop.SelectBlock(hb, ip.CC, ip.Res)
 		}
@@ -275,7 +344,33 @@ func (ip *Interp) execGeneric(b *lop.Block) error {
 	return ip.runInstrs(exec)
 }
 
-func (ip *Interp) adapt(b *lop.Block) {
+// processNodeFailures delivers injected node failures that are due at the
+// current simulated time: each one shrinks the live cluster by a node and
+// hands the adapter a container-loss trigger so the plan is re-optimized
+// for the reduced capacity. Losing the last node aborts with
+// ErrClusterLost.
+func (ip *Interp) processNodeFailures(b *lop.Block) error {
+	if ip.Faults == nil {
+		return nil
+	}
+	for _, nf := range ip.Faults.NodeFailuresThrough(ip.SimTime) {
+		if ip.CC.Nodes <= 1 {
+			return fmt.Errorf("rt: node %d failed at t=%.1fs: %w", nf.Node, nf.At, ErrClusterLost)
+		}
+		ip.CC.Nodes--
+		ip.Est.CC = ip.CC
+		ip.Stats.NodeFailures++
+		// Force re-selection of subsequent blocks against the smaller
+		// cluster even if the adapter keeps the resource configuration.
+		ip.resChanged = true
+		if ip.Adapter != nil {
+			ip.adapt(b, TriggerContainerLoss)
+		}
+	}
+	return nil
+}
+
+func (ip *Interp) adapt(b *lop.Block, trig Trigger) {
 	ctx := &AdaptContext{
 		Plan:       ip.plan,
 		Block:      b,
@@ -284,6 +379,8 @@ func (ip *Interp) adapt(b *lop.Block) {
 		Meta:       ip.snapshotMeta(),
 		DirtyBytes: ip.State.DirtyBytes(),
 		Compiler:   ip.Compiler,
+		Trigger:    trig,
+		CC:         ip.CC,
 	}
 	dec := ip.Adapter.Adapt(ctx)
 	if dec == nil {
@@ -374,7 +471,21 @@ func (ip *Interp) runInstrs(b *lop.Block) error {
 			ip.SimTime += ip.Est.CPInstrTime(in.Hop, ip.State, inJob, ip.cpCores())
 		} else {
 			ip.Stats.MRJobs++
-			ip.SimTime += ip.Est.MRJobTime(in.Job, b, ip.Res, ip.State, uses, inJob)
+			if ip.Faults != nil && ip.Faults.TaskFaultsEnabled() {
+				spec, taskHeap := ip.Est.MRJobSpec(in.Job, b, ip.Res, ip.State, uses, inJob)
+				bd, rep, err := mr.EstimateTimeUnderFaults(ip.Est.PM, ip.Est.EffectiveCluster(),
+					spec, taskHeap, ip.Res.CP, ip.Faults, ip.Policy)
+				if err != nil {
+					return fmt.Errorf("rt: %w", err)
+				}
+				ip.SimTime += bd.Total()
+				ip.Stats.TaskRetries += rep.Retries
+				ip.Stats.Stragglers += rep.Stragglers
+				ip.Stats.Speculated += rep.Speculated
+				ip.Stats.RecoverySeconds += bd.Recovery
+			} else {
+				ip.SimTime += ip.Est.MRJobTime(in.Job, b, ip.Res, ip.State, uses, inJob)
+			}
 		}
 	}
 	ip.SimTime += ip.Est.PM.WriteTime(ip.State.EvictionIO()-evict0, 1) * ip.Est.PM.EvictionPenalty

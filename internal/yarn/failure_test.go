@@ -1,0 +1,233 @@
+package yarn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/fault"
+)
+
+func TestFailNodeReleasesContainersAndNotifies(t *testing.T) {
+	cc := conf.DefaultCluster()
+	rm := NewResourceManager(cc)
+	var events []FailureEvent
+	rm.Subscribe(func(ev FailureEvent) { events = append(events, ev) })
+
+	// Pin two containers per node by worst-fit spreading.
+	var held []Container
+	for i := 0; i < 2*cc.Nodes; i++ {
+		c, err := rm.Allocate(10 * conf.GB)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		held = append(held, c)
+	}
+	total := rm.AvailableMem()
+
+	lost, err := rm.FailNode(held[0].Node)
+	if err != nil {
+		t.Fatalf("FailNode: %v", err)
+	}
+	if len(lost) != 2 {
+		t.Errorf("lost %d containers, want 2", len(lost))
+	}
+	if rm.LiveNodes() != cc.Nodes-1 {
+		t.Errorf("live nodes = %d", rm.LiveNodes())
+	}
+	// Lost capacity: the node's full memory, minus what its two lost
+	// containers had already consumed from the free pool.
+	want := total - (cc.MemPerNode - 20*conf.GB)
+	if rm.AvailableMem() != want {
+		t.Errorf("available = %v, want %v", rm.AvailableMem(), want)
+	}
+	if len(events) != 1 || events[0].Kind != NodeFailed || len(events[0].Lost) != 2 {
+		t.Errorf("events = %+v", events)
+	}
+	// Lost containers are unknown to the RM now.
+	if err := rm.Release(lost[0].ID); !errors.Is(err, ErrUnknownContainer) {
+		t.Errorf("release of lost container: %v", err)
+	}
+	// Double failure is rejected; restore brings capacity back.
+	if _, err := rm.FailNode(events[0].Node); err == nil {
+		t.Error("double FailNode should fail")
+	}
+	if err := rm.RestoreNode(events[0].Node); err != nil {
+		t.Fatalf("RestoreNode: %v", err)
+	}
+	if rm.LiveNodes() != cc.Nodes {
+		t.Errorf("live nodes after restore = %d", rm.LiveNodes())
+	}
+	if len(events) != 2 || events[1].Kind != NodeRestored {
+		t.Errorf("restore event missing: %+v", events)
+	}
+	if _, err := rm.FailNode(99); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("FailNode(99): %v", err)
+	}
+}
+
+func TestAllocateSkipsFailedNodes(t *testing.T) {
+	cc := conf.DefaultCluster()
+	cc.Nodes = 2
+	rm := NewResourceManager(cc)
+	if _, err := rm.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1; i++ {
+		c, err := rm.Allocate(80 * conf.GB)
+		if err != nil {
+			t.Fatalf("alloc: %v", err)
+		}
+		if c.Node != 1 {
+			t.Errorf("allocated on failed node %d", c.Node)
+		}
+	}
+	if _, err := rm.Allocate(conf.GB); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("full cluster: %v", err)
+	}
+}
+
+func TestKillContainer(t *testing.T) {
+	rm := NewResourceManager(conf.DefaultCluster())
+	var killed int
+	rm.Subscribe(func(ev FailureEvent) {
+		if ev.Kind == ContainerKilled {
+			killed++
+		}
+	})
+	c, err := rm.Allocate(4 * conf.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail := rm.AvailableMem()
+	if err := rm.KillContainer(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	if rm.AvailableMem() != avail+4*conf.GB {
+		t.Error("kill should return the node's memory")
+	}
+	if killed != 1 {
+		t.Errorf("kill events = %d", killed)
+	}
+	if err := rm.KillContainer(c.ID); !errors.Is(err, ErrUnknownContainer) {
+		t.Errorf("double kill: %v", err)
+	}
+}
+
+func TestAllocateWithRetryBacksOffThenTimesOut(t *testing.T) {
+	cc := conf.DefaultCluster()
+	cc.Nodes = 1
+	rm := NewResourceManager(cc)
+	if _, err := rm.Allocate(80 * conf.GB); err != nil {
+		t.Fatal(err)
+	}
+	pol := RetryPolicy{MaxAttempts: 4, Backoff: 1, Multiplier: 2, MaxBackoff: 30}
+	_, waited, err := rm.AllocateWithRetry(conf.GB, pol)
+	if !errors.Is(err, ErrAllocateTimeout) || !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("want timeout wrapping no-capacity, got %v", err)
+	}
+	// 3 waits: 1 + 2 + 4 simulated seconds.
+	if waited != 7 {
+		t.Errorf("waited %.1fs, want 7s", waited)
+	}
+	// Over-max requests fail fast without burning retries.
+	_, waited, err = rm.AllocateWithRetry(500*conf.GB, pol)
+	if !errors.Is(err, ErrOverMaxAllocation) || waited != 0 {
+		t.Errorf("over-max via retry: err=%v waited=%.1f", err, waited)
+	}
+}
+
+func TestAllocateWithRetrySucceedsAfterRelease(t *testing.T) {
+	cc := conf.DefaultCluster()
+	cc.Nodes = 1
+	rm := NewResourceManager(cc)
+	blocker, err := rm.Allocate(80 * conf.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, _, err := rm.AllocateWithRetry(conf.GB, RetryPolicy{MaxAttempts: 1 << 20})
+		if err != nil {
+			t.Errorf("retry alloc: %v", err)
+			return
+		}
+		_ = rm.Release(c.ID)
+	}()
+	_ = rm.Release(blocker.ID)
+	<-done
+}
+
+// TestConcurrentFailureAndAllocation hammers the RM with concurrent
+// allocates, releases, node failures and restores (run with -race).
+func TestConcurrentFailureAndAllocation(t *testing.T) {
+	cc := conf.DefaultCluster()
+	rm := NewResourceManager(cc)
+	rm.Subscribe(func(FailureEvent) {})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if c, err := rm.Allocate(conf.Bytes(1+g%3) * conf.GB); err == nil {
+					_ = rm.Release(c.ID)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			node := i % cc.Nodes
+			if _, err := rm.FailNode(node); err == nil {
+				_ = rm.RestoreNode(node)
+			}
+		}
+	}()
+	wg.Wait()
+	if rm.LiveNodes() != cc.Nodes {
+		t.Errorf("live nodes = %d after restore-all", rm.LiveNodes())
+	}
+}
+
+func TestThroughputWithContainerKills(t *testing.T) {
+	cc := conf.DefaultCluster()
+	spec := ThroughputSpec{Users: 8, AppsPerUser: 4, AMHeap: 8 * conf.GB, Duration: 30}
+	clean := SimulateThroughput(cc, spec)
+
+	spec.Faults = fault.MustInjector(fault.Plan{Seed: 11, ContainerKillProb: 0.2})
+	faulty := SimulateThroughput(cc, spec)
+	if faulty.Retries == 0 {
+		t.Fatal("expected injected kills to cause retries")
+	}
+	if faulty.Makespan <= clean.Makespan {
+		t.Errorf("kills should extend makespan: %.1f vs %.1f", faulty.Makespan, clean.Makespan)
+	}
+
+	// Same seed, same plan: byte-identical outcome (determinism audit).
+	spec.Faults = fault.MustInjector(fault.Plan{Seed: 11, ContainerKillProb: 0.2})
+	again := SimulateThroughput(cc, spec)
+	if again != faulty {
+		t.Errorf("same-seed reruns diverged: %+v vs %+v", again, faulty)
+	}
+}
+
+func TestThroughputKillsExhaustAttempts(t *testing.T) {
+	cc := conf.DefaultCluster()
+	spec := ThroughputSpec{
+		Users: 4, AppsPerUser: 3, AMHeap: 8 * conf.GB, Duration: 10,
+		Faults:      fault.MustInjector(fault.Plan{Seed: 5, ContainerKillProb: 1.0}),
+		MaxAttempts: 2,
+	}
+	res := SimulateThroughput(cc, spec)
+	if res.Failed != spec.Users*spec.AppsPerUser {
+		t.Errorf("every app should fail under p=1 kills: failed=%d", res.Failed)
+	}
+	if res.Retries != res.Failed {
+		t.Errorf("each app retries once before failing: retries=%d failed=%d", res.Retries, res.Failed)
+	}
+}

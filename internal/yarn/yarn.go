@@ -1,16 +1,39 @@
 // Package yarn simulates the request-based resource negotiation framework
 // the paper targets (§2.2): a per-cluster ResourceManager tracking node
 // capacities and min/max allocation constraints, container allocation and
-// release, and a discrete-event application scheduler used by the
-// throughput experiments (Figure 12, Table 6).
+// release, NodeManager failure with container loss, and a discrete-event
+// application scheduler used by the throughput experiments (Figure 12,
+// Table 6).
 package yarn
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"elasticml/internal/conf"
+	"elasticml/internal/fault"
+)
+
+// Typed error conditions surfaced by the ResourceManager. Callers test
+// them with errors.Is; messages carry the request-specific context.
+var (
+	// ErrOverMaxAllocation rejects requests exceeding the cluster's
+	// maximum container allocation (real YARN throws
+	// InvalidResourceRequestException rather than clamping down).
+	ErrOverMaxAllocation = errors.New("yarn: request over maximum allocation")
+	// ErrUnknownContainer rejects releases of container IDs the RM does
+	// not track (never granted, double-released, or lost with a node).
+	ErrUnknownContainer = errors.New("yarn: unknown container")
+	// ErrNoCapacity means no live node can currently satisfy the request.
+	ErrNoCapacity = errors.New("yarn: no node with sufficient capacity")
+	// ErrAllocateTimeout means AllocateWithRetry exhausted its attempts.
+	ErrAllocateTimeout = errors.New("yarn: allocation retries exhausted")
+	// ErrUnknownNode rejects operations on node indices outside the
+	// cluster.
+	ErrUnknownNode = errors.New("yarn: unknown node")
 )
 
 // ContainerID identifies an allocated container.
@@ -23,14 +46,41 @@ type Container struct {
 	Mem  conf.Bytes
 }
 
+// EventKind classifies failure events the RM reports to applications.
+type EventKind int
+
+// Failure event kinds.
+const (
+	// NodeFailed: a NodeManager was lost; its containers died with it.
+	NodeFailed EventKind = iota
+	// NodeRestored: a failed NodeManager re-registered with full capacity.
+	NodeRestored
+	// ContainerKilled: a single container was killed (preemption, fault
+	// injection) while its node stayed alive.
+	ContainerKilled
+)
+
+// FailureEvent is delivered to subscribed applications when the cluster
+// loses (or regains) resources — the signal that drives container-loss
+// re-optimization in the adaptation layer.
+type FailureEvent struct {
+	Kind EventKind
+	// Node is the affected node index.
+	Node int
+	// Lost lists the containers that died with the event.
+	Lost []Container
+}
+
 // ResourceManager is the per-cluster daemon that schedules resource
 // requests against NodeManager capacities. It is safe for concurrent use.
 type ResourceManager struct {
 	mu        sync.Mutex
 	cc        conf.Cluster
 	freeMem   []conf.Bytes
+	failed    []bool
 	nextID    ContainerID
 	allocated map[ContainerID]Container
+	listeners []func(FailureEvent)
 }
 
 // NewResourceManager returns an RM for the given cluster configuration.
@@ -39,29 +89,63 @@ func NewResourceManager(cc conf.Cluster) *ResourceManager {
 	for i := range free {
 		free[i] = cc.MemPerNode
 	}
-	return &ResourceManager{cc: cc, freeMem: free, allocated: make(map[ContainerID]Container)}
+	return &ResourceManager{
+		cc:        cc,
+		freeMem:   free,
+		failed:    make([]bool, cc.Nodes),
+		allocated: make(map[ContainerID]Container),
+	}
 }
 
 // Cluster returns the cluster configuration (what the resource optimizer
 // obtains from the RM in step 1, paper §2.4).
 func (rm *ResourceManager) Cluster() conf.Cluster { return rm.cc }
 
-// Allocate grants a container of the requested memory, clamped to the
-// cluster's min/max allocation constraints, on the node with the most free
-// memory (worst-fit keeps large allocations feasible). It returns an error
-// if no node currently has capacity.
+// Subscribe registers a failure-event listener. Listeners run
+// synchronously, outside the RM lock, in subscription order.
+func (rm *ResourceManager) Subscribe(fn func(FailureEvent)) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	rm.listeners = append(rm.listeners, fn)
+}
+
+func (rm *ResourceManager) notify(ev FailureEvent) {
+	rm.mu.Lock()
+	listeners := append([]func(FailureEvent){}, rm.listeners...)
+	rm.mu.Unlock()
+	for _, fn := range listeners {
+		fn(ev)
+	}
+}
+
+// Allocate grants a container of the requested memory on the live node
+// with the most free memory (worst-fit keeps large allocations feasible).
+// Requests below the minimum allocation are rounded up, matching YARN's
+// scheduler; requests above the maximum allocation are rejected with
+// ErrOverMaxAllocation, and a momentarily full cluster yields
+// ErrNoCapacity.
 func (rm *ResourceManager) Allocate(mem conf.Bytes) (Container, error) {
-	req := rm.clamp(mem)
+	if mem > rm.cc.MaxAlloc {
+		return Container{}, fmt.Errorf("%w: %v exceeds max allocation %v (largest grantable container)",
+			ErrOverMaxAllocation, mem, rm.cc.MaxAlloc)
+	}
+	req := mem
+	if req < rm.cc.MinAlloc {
+		req = rm.cc.MinAlloc
+	}
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
 	best := -1
 	for i, free := range rm.freeMem {
+		if rm.failed[i] {
+			continue
+		}
 		if free >= req && (best < 0 || free > rm.freeMem[best]) {
 			best = i
 		}
 	}
 	if best < 0 {
-		return Container{}, fmt.Errorf("yarn: no node can satisfy %v (max free %v)", req, rm.maxFreeLocked())
+		return Container{}, fmt.Errorf("%w: need %v, max free %v", ErrNoCapacity, req, rm.maxFreeLocked())
 	}
 	rm.freeMem[best] -= req
 	rm.nextID++
@@ -70,19 +154,83 @@ func (rm *ResourceManager) Allocate(mem conf.Bytes) (Container, error) {
 	return c, nil
 }
 
-func (rm *ResourceManager) clamp(mem conf.Bytes) conf.Bytes {
-	if mem < rm.cc.MinAlloc {
-		mem = rm.cc.MinAlloc
+// RetryPolicy configures AllocateWithRetry: exponential backoff between
+// attempts in *simulated* seconds (the caller charges the returned wait
+// into its simulated clock).
+type RetryPolicy struct {
+	// MaxAttempts bounds the allocation attempts (default 5).
+	MaxAttempts int
+	// Backoff is the wait after the first failed attempt (default 1s).
+	Backoff float64
+	// Multiplier grows the backoff per attempt (default 2).
+	Multiplier float64
+	// MaxBackoff caps a single wait (default 30s).
+	MaxBackoff float64
+}
+
+// DefaultRetryPolicy returns the standard AM allocation retry behaviour.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, Backoff: 1, Multiplier: 2, MaxBackoff: 30}
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = d.MaxAttempts
 	}
-	if mem > rm.cc.MaxAlloc {
-		mem = rm.cc.MaxAlloc
+	if p.Backoff <= 0 {
+		p.Backoff = d.Backoff
 	}
-	return mem
+	if p.Multiplier < 1 {
+		p.Multiplier = d.Multiplier
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	return p
+}
+
+// AllocateWithRetry attempts an allocation under the retry policy,
+// backing off between attempts instead of failing permanently on a
+// momentarily full cluster. It returns the granted container and the
+// simulated seconds spent waiting. Permanent errors (over-max requests)
+// are returned immediately; exhausted retries yield an error wrapping
+// both ErrAllocateTimeout and the last allocation failure.
+func (rm *ResourceManager) AllocateWithRetry(mem conf.Bytes, pol RetryPolicy) (Container, float64, error) {
+	pol = pol.normalized()
+	var waited float64
+	backoff := pol.Backoff
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		c, err := rm.Allocate(mem)
+		if err == nil {
+			return c, waited, nil
+		}
+		if errors.Is(err, ErrOverMaxAllocation) {
+			return Container{}, waited, err
+		}
+		lastErr = err
+		if attempt >= pol.MaxAttempts {
+			return Container{}, waited, fmt.Errorf("%w after %d attempts (%.1fs simulated wait): %w",
+				ErrAllocateTimeout, attempt, waited, lastErr)
+		}
+		waited += backoff
+		backoff *= pol.Multiplier
+		if backoff > pol.MaxBackoff {
+			backoff = pol.MaxBackoff
+		}
+		// Yield so concurrently releasing goroutines can free capacity
+		// (the backoff itself is simulated, not wall-clock).
+		runtime.Gosched()
+	}
 }
 
 func (rm *ResourceManager) maxFreeLocked() conf.Bytes {
 	var m conf.Bytes
-	for _, f := range rm.freeMem {
+	for i, f := range rm.freeMem {
+		if rm.failed[i] {
+			continue
+		}
 		if f > m {
 			m = f
 		}
@@ -90,25 +238,109 @@ func (rm *ResourceManager) maxFreeLocked() conf.Bytes {
 	return m
 }
 
-// Release returns a container's resources to its node.
+// Release returns a container's resources to its node. Releasing an ID
+// the RM does not track yields ErrUnknownContainer.
 func (rm *ResourceManager) Release(id ContainerID) error {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
 	c, ok := rm.allocated[id]
 	if !ok {
-		return fmt.Errorf("yarn: release of unknown container %d", id)
+		return fmt.Errorf("%w: release of container %d", ErrUnknownContainer, id)
 	}
 	delete(rm.allocated, id)
-	rm.freeMem[c.Node] += c.Mem
+	if !rm.failed[c.Node] {
+		rm.freeMem[c.Node] += c.Mem
+	}
 	return nil
 }
 
-// AvailableMem returns the aggregate free memory across nodes.
+// FailNode marks a NodeManager as lost: its capacity disappears, every
+// container on it dies, and subscribed applications receive a NodeFailed
+// event listing the lost containers. Released IDs become unknown to the
+// RM (a later Release returns ErrUnknownContainer, as after a real NM
+// expiry).
+func (rm *ResourceManager) FailNode(node int) ([]Container, error) {
+	rm.mu.Lock()
+	if node < 0 || node >= len(rm.freeMem) {
+		rm.mu.Unlock()
+		return nil, fmt.Errorf("%w: node %d of %d", ErrUnknownNode, node, len(rm.freeMem))
+	}
+	if rm.failed[node] {
+		rm.mu.Unlock()
+		return nil, fmt.Errorf("%w: node %d already failed", ErrUnknownNode, node)
+	}
+	rm.failed[node] = true
+	rm.freeMem[node] = 0
+	var lost []Container
+	for id, c := range rm.allocated {
+		if c.Node == node {
+			lost = append(lost, c)
+			delete(rm.allocated, id)
+		}
+	}
+	rm.mu.Unlock()
+	rm.notify(FailureEvent{Kind: NodeFailed, Node: node, Lost: lost})
+	return lost, nil
+}
+
+// RestoreNode re-registers a failed NodeManager with full, empty capacity.
+func (rm *ResourceManager) RestoreNode(node int) error {
+	rm.mu.Lock()
+	if node < 0 || node >= len(rm.freeMem) {
+		rm.mu.Unlock()
+		return fmt.Errorf("%w: node %d of %d", ErrUnknownNode, node, len(rm.freeMem))
+	}
+	if !rm.failed[node] {
+		rm.mu.Unlock()
+		return fmt.Errorf("%w: node %d is not failed", ErrUnknownNode, node)
+	}
+	rm.failed[node] = false
+	rm.freeMem[node] = rm.cc.MemPerNode
+	rm.mu.Unlock()
+	rm.notify(FailureEvent{Kind: NodeRestored, Node: node})
+	return nil
+}
+
+// KillContainer kills one running container in place (its node survives),
+// notifying subscribers with a ContainerKilled event.
+func (rm *ResourceManager) KillContainer(id ContainerID) error {
+	rm.mu.Lock()
+	c, ok := rm.allocated[id]
+	if !ok {
+		rm.mu.Unlock()
+		return fmt.Errorf("%w: kill of container %d", ErrUnknownContainer, id)
+	}
+	delete(rm.allocated, id)
+	if !rm.failed[c.Node] {
+		rm.freeMem[c.Node] += c.Mem
+	}
+	rm.mu.Unlock()
+	rm.notify(FailureEvent{Kind: ContainerKilled, Node: c.Node, Lost: []Container{c}})
+	return nil
+}
+
+// LiveNodes returns the number of non-failed NodeManagers.
+func (rm *ResourceManager) LiveNodes() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	n := 0
+	for _, f := range rm.failed {
+		if !f {
+			n++
+		}
+	}
+	return n
+}
+
+// AvailableMem returns the aggregate free memory across live nodes.
 func (rm *ResourceManager) AvailableMem() conf.Bytes {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
 	var total conf.Bytes
-	for _, f := range rm.freeMem {
+	for i, f := range rm.freeMem {
+		if rm.failed[i] {
+			continue
+		}
 		total += f
 	}
 	return total
@@ -139,6 +371,13 @@ type ThroughputSpec struct {
 	AppsPerUser int
 	AMHeap      conf.Bytes
 	Duration    float64
+	// Faults, when set, samples container kills: a killed application is
+	// resubmitted (another full Duration) up to MaxAttempts times before
+	// counting as failed.
+	Faults *fault.Injector
+	// MaxAttempts bounds per-application attempts under faults
+	// (default 3).
+	MaxAttempts int
 }
 
 // ThroughputResult reports the simulated outcome.
@@ -149,6 +388,10 @@ type ThroughputResult struct {
 	AppsPerMinute float64
 	// MaxParallel is the peak number of concurrently running apps.
 	MaxParallel int
+	// Retries counts resubmissions of killed applications.
+	Retries int
+	// Failed counts applications abandoned after MaxAttempts kills.
+	Failed int
 }
 
 // event is a discrete-event entry: at Time, the app of user U finishes.
@@ -173,16 +416,21 @@ func (h *eventHeap) Pop() interface{} {
 
 // SimulateThroughput runs the discrete-event FIFO scheduling of the
 // throughput experiment and returns the achieved throughput. Applications
-// that cannot obtain a container queue in submission order.
+// that cannot obtain a container queue in submission order; injected
+// container kills resubmit the victim, extending the makespan.
 func SimulateThroughput(cc conf.Cluster, spec ThroughputSpec) ThroughputResult {
 	if spec.Users <= 0 || spec.AppsPerUser <= 0 || spec.Duration <= 0 {
 		return ThroughputResult{}
 	}
-	container := cc.ContainerSize(spec.AMHeap)
 	capacity := MaxConcurrentApps(cc, spec.AMHeap)
-	_ = container
+	maxAttempts := spec.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 3
+	}
 
 	remaining := make([]int, spec.Users) // apps left per user
+	attempts := make([]int, spec.Users)  // attempts of the user's current app
+	retrying := make([]bool, spec.Users) // queued entry is a resubmission
 	for i := range remaining {
 		remaining[i] = spec.AppsPerUser
 	}
@@ -193,11 +441,17 @@ func SimulateThroughput(cc conf.Cluster, spec ThroughputSpec) ThroughputResult {
 		finished int
 		queue    []int // user indices waiting for a container
 		events   eventHeap
+		res      ThroughputResult
 	)
 	total := spec.Users * spec.AppsPerUser
 
 	start := func(user int, now float64) {
-		remaining[user]--
+		if retrying[user] {
+			retrying[user] = false
+		} else {
+			remaining[user]--
+			attempts[user] = 0
+		}
 		running++
 		if running > maxPar {
 			maxPar = running
@@ -217,10 +471,28 @@ func SimulateThroughput(cc conf.Cluster, spec ThroughputSpec) ThroughputResult {
 		ev := heap.Pop(&events).(event)
 		clock = ev.time
 		running--
-		finished++
-		// The finishing user immediately submits its next app (queued).
-		if remaining[ev.user] > 0 {
-			queue = append(queue, ev.user)
+		killed := spec.Faults != nil && spec.Faults.ContainerKilled()
+		if killed {
+			attempts[ev.user]++
+			if attempts[ev.user] < maxAttempts {
+				// Resubmit the same application (queued like any other).
+				res.Retries++
+				retrying[ev.user] = true
+				queue = append(queue, ev.user)
+			} else {
+				// Abandoned: counts toward termination, not throughput.
+				res.Failed++
+				finished++
+				if remaining[ev.user] > 0 {
+					queue = append(queue, ev.user)
+				}
+			}
+		} else {
+			finished++
+			// The finishing user immediately submits its next app (queued).
+			if remaining[ev.user] > 0 {
+				queue = append(queue, ev.user)
+			}
 		}
 		// Admit queued apps while capacity allows.
 		for len(queue) > 0 && running < capacity {
@@ -229,7 +501,8 @@ func SimulateThroughput(cc conf.Cluster, spec ThroughputSpec) ThroughputResult {
 			start(u, clock)
 		}
 	}
-	res := ThroughputResult{Makespan: clock, MaxParallel: maxPar}
+	res.Makespan = clock
+	res.MaxParallel = maxPar
 	if clock > 0 {
 		res.AppsPerMinute = float64(total) / (clock / 60)
 	}

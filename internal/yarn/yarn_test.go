@@ -1,7 +1,9 @@
 package yarn
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"elasticml/internal/conf"
@@ -30,12 +32,12 @@ func TestAllocateReleaseAccounting(t *testing.T) {
 	if rm.AvailableMem() != total {
 		t.Errorf("available after release = %v", rm.AvailableMem())
 	}
-	if err := rm.Release(c.ID); err == nil {
-		t.Fatal("double release should fail")
+	if err := rm.Release(c.ID); !errors.Is(err, ErrUnknownContainer) {
+		t.Fatalf("double release: got %v, want ErrUnknownContainer", err)
 	}
 }
 
-func TestAllocateClampsToConstraints(t *testing.T) {
+func TestAllocateConstraints(t *testing.T) {
 	cc := conf.DefaultCluster()
 	rm := NewResourceManager(cc)
 	c, err := rm.Allocate(1 * conf.KB)
@@ -45,12 +47,13 @@ func TestAllocateClampsToConstraints(t *testing.T) {
 	if c.Mem != cc.MinAlloc {
 		t.Errorf("tiny request got %v, want min alloc %v", c.Mem, cc.MinAlloc)
 	}
-	c2, err := rm.Allocate(500 * conf.GB)
-	if err != nil {
-		t.Fatalf("Allocate huge: %v", err)
+	// Over-max requests are rejected with a typed error, not clamped.
+	_, err = rm.Allocate(500 * conf.GB)
+	if !errors.Is(err, ErrOverMaxAllocation) {
+		t.Errorf("huge request: got %v, want ErrOverMaxAllocation", err)
 	}
-	if c2.Mem != cc.MaxAlloc {
-		t.Errorf("huge request got %v, want max alloc %v", c2.Mem, cc.MaxAlloc)
+	if err != nil && !strings.Contains(err.Error(), cc.MaxAlloc.String()) {
+		t.Errorf("over-max error should name the max allocation: %v", err)
 	}
 }
 

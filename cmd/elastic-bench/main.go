@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"elasticml/internal/bench"
+	"elasticml/internal/obs"
 )
 
 func main() {
@@ -23,16 +24,19 @@ func main() {
 		list  = flag.Bool("list", false, "list experiment ids")
 	)
 	flag.Parse()
+	out := &obs.ErrWriter{W: os.Stdout}
 
-	r := bench.New(os.Stdout)
+	r := bench.New(out)
 	r.Quick = *quick
 	if *list {
 		for _, e := range r.Experiments() {
-			fmt.Println(e.ID)
+			fmt.Fprintln(out, e.ID)
 		}
-		return
+	} else if err := r.Run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "elastic-bench:", err)
+		os.Exit(1)
 	}
-	if err := r.Run(*exp); err != nil {
+	if err := out.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "elastic-bench:", err)
 		os.Exit(1)
 	}

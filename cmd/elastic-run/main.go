@@ -8,9 +8,11 @@
 //	elastic-run -program LinregCG -size M -cp 16GB -mr 2GB
 //	elastic-run -program MLogreg -size M -classes 200 -optimize -adapt
 //	elastic-run -program MLogreg -size L -optimize -adapt -task-fail 0.05 -node-fail 0@30,1@60
+//	elastic-run -program MLogreg -size M -optimize -adapt -trace trace.json -metrics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +21,7 @@ import (
 
 	"elasticml/internal/adapt"
 	"elasticml/internal/conf"
+	"elasticml/internal/cost"
 	"elasticml/internal/datagen"
 	"elasticml/internal/dml"
 	"elasticml/internal/fault"
@@ -26,10 +29,17 @@ import (
 	"elasticml/internal/hop"
 	"elasticml/internal/lop"
 	"elasticml/internal/mr"
+	"elasticml/internal/obs"
 	"elasticml/internal/opt"
 	"elasticml/internal/rt"
 	"elasticml/internal/scripts"
+	"elasticml/internal/yarn"
 )
+
+// tracedOptCharge is the fixed simulated time charged per runtime
+// re-optimization when observability is on: charging measured wall-clock
+// time (the adapter's default) would make traces differ across runs.
+const tracedOptCharge = 0.1
 
 func main() {
 	var (
@@ -45,6 +55,11 @@ func main() {
 		verbose  = flag.Bool("v", false, "stream program print() output")
 		explain  = flag.Bool("explain", false, "print the runtime plan before executing")
 
+		// Observability.
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
+		metrics  = flag.Bool("metrics", false, "print the metrics registry, span summary, and predicted-vs-simulated cost table")
+		jsonOut  = flag.Bool("json", false, "print a machine-readable JSON run summary instead of text")
+
 		// Fault injection (all sampling is seeded and deterministic).
 		faultSeed   = flag.Int64("fault-seed", 42, "fault injection RNG seed")
 		taskFail    = flag.Float64("task-fail", 0, "per-attempt MR task failure probability")
@@ -55,6 +70,7 @@ func main() {
 		maxAttempts = flag.Int("max-attempts", 0, "task attempts before job failure (0 = Hadoop default 4)")
 	)
 	flag.Parse()
+	out := &obs.ErrWriter{W: os.Stdout}
 
 	spec, ok := scripts.ByName(*program)
 	if !ok {
@@ -67,7 +83,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "elastic-run:", err)
 		os.Exit(2)
 	}
+
+	// The tracer records spans for -trace and -metrics; a bare -json still
+	// gets the metrics registry (counters ride along in the summary).
+	var tr *obs.Tracer
+	if *traceOut != "" || *metrics || *jsonOut {
+		tr = obs.New(*traceOut != "" || *metrics)
+	}
+
 	fs := hdfs.New()
+	fs.SetTracer(tr)
 	datagen.Describe(fs, s)
 
 	fplan := fault.Plan{
@@ -97,11 +122,14 @@ func main() {
 		}
 	}
 
+	psp := tr.Begin(obs.LayerCompile, "dml.parse", obs.A("program", spec.Name))
 	prog, err := dml.Parse(spec.Source)
+	psp.End()
 	if err != nil {
 		fatal(err)
 	}
 	comp := hop.NewCompiler(fs, spec.Params)
+	comp.Trace = tr
 	hp, err := comp.Compile(prog, spec.Source)
 	if err != nil {
 		fatal(err)
@@ -119,27 +147,59 @@ func main() {
 	var optSecs float64
 	if *optimize {
 		o := opt.New(cc)
+		o.Trace = tr
 		start := time.Now()
 		result := o.Optimize(hp)
 		optSecs = time.Since(start).Seconds()
 		res = result.Res
-		fmt.Printf("optimizer: R* = %s (estimated %.1fs, found in %v)\n",
-			res.String(), result.Cost, result.Stats.OptTime)
+		if !*jsonOut {
+			fmt.Fprintf(out, "optimizer: R* = %s (estimated %.1fs, found in %v)\n",
+				res.String(), result.Cost, result.Stats.OptTime)
+		}
 	}
 
-	plan := lop.Select(hp, cc, res)
+	plan := lop.SelectTraced(hp, cc, res, tr)
+	lop.RecordJobMetrics(tr.Metrics(), plan)
 	if *explain {
-		fmt.Print(lop.Explain(plan))
+		fmt.Fprint(out, lop.Explain(plan))
 	}
+
+	// Per-operator cost-model predictions for the validation table: a fresh
+	// estimator walks the initial plan with a capture hook before execution.
+	var predicted map[string]float64
+	if *metrics {
+		predicted = map[string]float64{}
+		pe := cost.NewEstimator(cc)
+		pe.Hook = func(label string, seconds float64) { predicted[label] += seconds }
+		pe.ProgramCost(plan)
+	}
+
 	ip := rt.New(rt.ModeSim, fs, cc, res)
 	ip.Compiler = comp
 	ip.SimTableCols = *classes
+	ip.Trace = tr
 	if *verbose {
 		ip.Out = os.Stdout
+	}
+	// With a tracer attached, the YARN RM backs the AM container so
+	// allocation/release/kill events appear on the cluster track.
+	var rm *yarn.ResourceManager
+	var amContainer yarn.Container
+	if tr.Enabled() {
+		rm = yarn.NewResourceManager(cc)
+		rm.SetTracer(tr)
+		if c, err := rm.Allocate(cc.ContainerSize(res.CP)); err == nil {
+			amContainer = c
+		}
 	}
 	var ad *adapt.Adapter
 	if *doAdapt {
 		ad = adapt.New(cc)
+		ad.Trace = tr
+		ad.RM = rm
+		if tr.Enabled() {
+			ad.OptCharge = tracedOptCharge
+		}
 		ip.Adapter = ad
 	}
 	if inj != nil {
@@ -149,21 +209,157 @@ func main() {
 	if err := ip.Run(plan); err != nil {
 		fatal(err)
 	}
+	if ad != nil {
+		ad.Release()
+	}
+	if rm != nil && amContainer.ID != 0 {
+		if err := rm.Release(amContainer.ID); err != nil {
+			fatal(err)
+		}
+	}
 
-	fmt.Printf("program:    %s on %s\n", spec.Name, s)
-	fmt.Printf("config:     start %s, final %s\n", res.String(), ip.Res.String())
-	fmt.Printf("elapsed:    %.1f s simulated (+%.2f s optimization)\n", ip.SimTime, optSecs)
-	fmt.Printf("execution:  %d instructions, %d MR jobs, %d recompilations, %d migrations\n",
-		ip.Stats.Instructions, ip.Stats.MRJobs, ip.Stats.Recompiles, ip.Stats.Migrations)
-	if ad != nil && ad.Stats.Reoptimizations > 0 {
-		fmt.Printf("adaptation: %d re-optimizations (%d after node loss), %d migrations (%.1f s)\n",
-			ad.Stats.Reoptimizations, ad.Stats.ContainerLossReopts, ad.Stats.Migrations, ad.Stats.MigrationTime)
+	if *traceOut != "" {
+		if err := writeTrace(tr, *traceOut); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		if err := writeJSONSummary(out, spec.Name, s.String(), res, ip, ad, inj, optSecs, tr); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Fprintf(out, "program:    %s on %s\n", spec.Name, s)
+		fmt.Fprintf(out, "config:     start %s, final %s\n", res.String(), ip.Res.String())
+		fmt.Fprintf(out, "elapsed:    %.1f s simulated (+%.2f s optimization)\n", ip.SimTime, optSecs)
+		fmt.Fprintf(out, "execution:  %d instructions, %d MR jobs, %d recompilations, %d migrations\n",
+			ip.Stats.Instructions, ip.Stats.MRJobs, ip.Stats.Recompiles, ip.Stats.Migrations)
+		if ad != nil && ad.Stats.Reoptimizations > 0 {
+			fmt.Fprintf(out, "adaptation: %d re-optimizations (%d after node loss), %d migrations (%.1f s)\n",
+				ad.Stats.Reoptimizations, ad.Stats.ContainerLossReopts, ad.Stats.Migrations, ad.Stats.MigrationTime)
+		}
+		if inj != nil {
+			fmt.Fprintf(out, "recovery:   %d node failures, %d task retries, %d stragglers (%d speculated), %d HDFS retries, %.1f s re-executed\n",
+				ip.Stats.NodeFailures, ip.Stats.TaskRetries, ip.Stats.Stragglers,
+				ip.Stats.Speculated, ip.Stats.HDFSRetries, ip.Stats.RecoverySeconds)
+		}
+	}
+
+	if *metrics {
+		fmt.Fprintf(out, "\n-- metrics --\n")
+		if err := tr.Metrics().WriteText(out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "\n-- span summary --\n")
+		if err := tr.WriteSummary(out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "\n-- predicted vs simulated (per operator) --\n")
+		sim := tr.SpanTotals(obs.LayerRuntime)
+		delete(sim, "rt.run") // enclosing span, not an operator
+		rows := obs.CostTable(predicted, sim)
+		if err := obs.WriteCostTable(out, rows); err != nil {
+			fatal(err)
+		}
+	}
+	if err := out.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+// runSummary is the -json output shape.
+type runSummary struct {
+	Program     string  `json:"program"`
+	Scenario    string  `json:"scenario"`
+	StartConfig string  `json:"start_config"`
+	FinalConfig string  `json:"final_config"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	OptSeconds  float64 `json:"opt_wall_seconds"`
+
+	Execution struct {
+		Instructions int `json:"instructions"`
+		MRJobs       int `json:"mr_jobs"`
+		Recompiles   int `json:"recompiles"`
+		Migrations   int `json:"migrations"`
+	} `json:"execution"`
+
+	Adaptation *struct {
+		Reoptimizations     int     `json:"reoptimizations"`
+		ContainerLossReopts int     `json:"container_loss_reopts"`
+		Migrations          int     `json:"migrations"`
+		MigrationSeconds    float64 `json:"migration_seconds"`
+	} `json:"adaptation,omitempty"`
+
+	Recovery *struct {
+		NodeFailures    int     `json:"node_failures"`
+		TaskRetries     int     `json:"task_retries"`
+		Stragglers      int     `json:"stragglers"`
+		Speculated      int     `json:"speculated"`
+		HDFSRetries     int     `json:"hdfs_retries"`
+		RecoverySeconds float64 `json:"recovery_seconds"`
+	} `json:"recovery,omitempty"`
+
+	Metrics map[string]interface{} `json:"metrics,omitempty"`
+}
+
+func writeJSONSummary(out *obs.ErrWriter, program, scenario string, start conf.Resources,
+	ip *rt.Interp, ad *adapt.Adapter, inj *fault.Injector, optSecs float64, tr *obs.Tracer) error {
+	sum := runSummary{
+		Program:     program,
+		Scenario:    scenario,
+		StartConfig: start.String(),
+		FinalConfig: ip.Res.String(),
+		SimSeconds:  ip.SimTime,
+		OptSeconds:  optSecs,
+	}
+	sum.Execution.Instructions = ip.Stats.Instructions
+	sum.Execution.MRJobs = ip.Stats.MRJobs
+	sum.Execution.Recompiles = ip.Stats.Recompiles
+	sum.Execution.Migrations = ip.Stats.Migrations
+	if ad != nil {
+		a := &struct {
+			Reoptimizations     int     `json:"reoptimizations"`
+			ContainerLossReopts int     `json:"container_loss_reopts"`
+			Migrations          int     `json:"migrations"`
+			MigrationSeconds    float64 `json:"migration_seconds"`
+		}{ad.Stats.Reoptimizations, ad.Stats.ContainerLossReopts, ad.Stats.Migrations, ad.Stats.MigrationTime}
+		sum.Adaptation = a
 	}
 	if inj != nil {
-		fmt.Printf("recovery:   %d node failures, %d task retries, %d stragglers (%d speculated), %d HDFS retries, %.1f s re-executed\n",
-			ip.Stats.NodeFailures, ip.Stats.TaskRetries, ip.Stats.Stragglers,
-			ip.Stats.Speculated, ip.Stats.HDFSRetries, ip.Stats.RecoverySeconds)
+		r := &struct {
+			NodeFailures    int     `json:"node_failures"`
+			TaskRetries     int     `json:"task_retries"`
+			Stragglers      int     `json:"stragglers"`
+			Speculated      int     `json:"speculated"`
+			HDFSRetries     int     `json:"hdfs_retries"`
+			RecoverySeconds float64 `json:"recovery_seconds"`
+		}{ip.Stats.NodeFailures, ip.Stats.TaskRetries, ip.Stats.Stragglers,
+			ip.Stats.Speculated, ip.Stats.HDFSRetries, ip.Stats.RecoverySeconds}
+		sum.Recovery = r
 	}
+	sum.Metrics = tr.Metrics().Export()
+	b, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := out.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return out.Err()
+}
+
+// writeTrace writes the Chrome trace file, propagating create, write, and
+// close errors.
+func writeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseBytes accepts sizes like "512MB", "4.4GB".

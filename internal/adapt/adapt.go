@@ -13,6 +13,7 @@ import (
 	"elasticml/internal/conf"
 	"elasticml/internal/dml"
 	"elasticml/internal/hop"
+	"elasticml/internal/obs"
 	"elasticml/internal/opt"
 	"elasticml/internal/perf"
 	"elasticml/internal/rt"
@@ -60,6 +61,12 @@ type Adapter struct {
 	// non-deterministic; fault-injection experiments set a fixed charge ≥ 0
 	// so same-seed runs report byte-identical simulated times.
 	OptCharge float64
+	// Trace, when non-nil, receives one adapt-layer span per re-optimization
+	// carrying the cost/benefit breakdown and the decision, and is propagated
+	// to the re-optimization runs. Deterministic traces additionally require
+	// a fixed OptCharge (span durations include the charged optimization
+	// time).
+	Trace *obs.Tracer
 
 	Stats Stats
 	chain []yarn.Container
@@ -97,11 +104,14 @@ func (a *Adapter) Adapt(ctx *rt.AdaptContext) *rt.AdaptDecision {
 	if ctx.CC.Nodes > 0 {
 		cc = ctx.CC
 	}
-	o := &opt.Optimizer{CC: cc, Opts: opts}
+	o := &opt.Optimizer{CC: cc, Opts: opts, Trace: a.Trace}
 	global, local := o.OptimizeWithCurrent(scopeProg, ctx.Res.CP)
 	a.Stats.Reoptimizations++
+	m := a.Trace.Metrics()
+	m.Add("adapt.reoptimizations", 1)
 	if ctx.Trigger == rt.TriggerContainerLoss {
 		a.Stats.ContainerLossReopts++
+		m.Add("adapt.container_loss_reopts", 1)
 	}
 	a.Stats.OptTime += time.Since(start)
 	if global == nil || local == nil {
@@ -128,7 +138,9 @@ func (a *Adapter) Adapt(ctx *rt.AdaptContext) *rt.AdaptDecision {
 		dec.NewRes = mapScopeResources(ctx, scopeProg, global.Res)
 		a.Stats.Migrations++
 		a.Stats.MigrationTime += migCost
+		m.Add("adapt.migrations", 1)
 		a.migrateContainer(dec.NewRes.CP)
+		a.traceDecision(ctx, dec, scopeProg.NumLeaf, global, local, migCost, benefit, "migrate")
 		return dec
 	}
 	// Otherwise continue in the current container with the locally optimal
@@ -136,10 +148,34 @@ func (a *Adapter) Adapt(ctx *rt.AdaptContext) *rt.AdaptDecision {
 	if !needsMigration && global.Res.CP != ctx.Res.CP {
 		// CP shrink (or equal): adopt the global optimum without cost.
 		dec.NewRes = mapScopeResources(ctx, scopeProg, global.Res)
+		a.traceDecision(ctx, dec, scopeProg.NumLeaf, global, local, migCost, benefit, "adopt-global")
 		return dec
 	}
 	dec.NewRes = mapScopeResources(ctx, scopeProg, local.Res)
+	a.traceDecision(ctx, dec, scopeProg.NumLeaf, global, local, migCost, benefit, "keep-local")
 	return dec
+}
+
+// traceDecision emits the adapt-layer span for one re-optimization. The span
+// starts at the current simulated time and lasts the charged extra time — the
+// interpreter advances its clock by the same amount right after Adapt
+// returns, so the span covers exactly the adaptation stall.
+func (a *Adapter) traceDecision(ctx *rt.AdaptContext, dec *rt.AdaptDecision, scopeLeaves int,
+	global, local *opt.Result, migCost, benefit float64, decision string) {
+	if !a.Trace.SpansEnabled() {
+		return
+	}
+	a.Trace.CompleteNow(obs.LayerAdapt, "adapt.reoptimize", dec.ExtraTime,
+		obs.A("trigger", ctx.Trigger.String()),
+		obs.A("decision", decision),
+		obs.A("scope_leaves", scopeLeaves),
+		obs.A("global_cost", global.Cost),
+		obs.A("local_cost", local.Cost),
+		obs.A("benefit", benefit),
+		obs.A("mig_cost", migCost),
+		obs.A("dirty_bytes", int64(ctx.DirtyBytes)),
+		obs.A("old_cp", ctx.Res.CP.String()),
+		obs.A("new_cp", dec.NewRes.CP.String()))
 }
 
 // migrateContainer performs the AM process chaining against the RM when

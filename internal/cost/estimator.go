@@ -33,6 +33,11 @@ type Estimator struct {
 	// Invocations counts cost-model calls for the optimization-overhead
 	// statistics (Table 3).
 	Invocations int
+	// Hook, when set, receives every per-instruction charge made through
+	// ProgramCost/BlockCost, keyed by the instruction label — the
+	// predicted side of the predicted-vs-simulated per-operator cost
+	// table. Left nil on the optimizer's hot path.
+	Hook func(label string, seconds float64)
 }
 
 // EffectiveCluster returns the cluster configuration with the node count
@@ -155,11 +160,16 @@ func (e *Estimator) generic(b *lop.Block, res conf.Resources, state *VarState, c
 	}
 	var t float64
 	for _, in := range b.Instrs {
+		var dt float64
 		if in.Kind == lop.InstrCP {
-			t += e.CPInstrTime(in.Hop, state, inJob, cpCores)
+			dt = e.CPInstrTime(in.Hop, state, inJob, cpCores)
 		} else {
-			t += e.MRJobTime(in.Job, b, res, state, uses, inJob)
+			dt = e.MRJobTime(in.Job, b, res, state, uses, inJob)
 		}
+		if e.Hook != nil {
+			e.Hook(in.Label(), dt)
+		}
+		t += dt
 	}
 	if e.EvictionWeight > 0 {
 		// Evicted dirty pages are written out and re-read on next use; the

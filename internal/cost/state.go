@@ -35,6 +35,12 @@ type VarState struct {
 	inMem   conf.Bytes
 	clock   int64
 	evictIO conf.Bytes // accumulated eviction write/re-read bytes
+
+	// Evictions counts buffer-pool victims pushed out over capacity;
+	// Restores counts HDFS-to-memory loads (first reads and re-reads of
+	// evicted variables). Both feed the observability counters.
+	Evictions int
+	Restores  int
 }
 
 // NewVarState returns a state tracker; budget <= 0 disables eviction
@@ -47,7 +53,8 @@ func NewVarState(budget conf.Bytes) *VarState {
 // independently).
 func (s *VarState) Clone() *VarState {
 	c := &VarState{vars: make(map[string]*varInfo, len(s.vars)),
-		budget: s.budget, inMem: s.inMem, clock: s.clock, evictIO: s.evictIO}
+		budget: s.budget, inMem: s.inMem, clock: s.clock, evictIO: s.evictIO,
+		Evictions: s.Evictions, Restores: s.Restores}
 	for k, v := range s.vars {
 		cp := *v
 		c.vars[k] = &cp
@@ -87,6 +94,7 @@ func (s *VarState) EnsureInMemory(key string, size conf.Bytes) conf.Bytes {
 	}
 	v.loc = InMemory
 	v.dirty = false
+	s.Restores++
 	s.admit(v)
 	return v.size
 }
@@ -185,6 +193,7 @@ func (s *VarState) admit(v *varInfo) {
 		}
 		lru.loc = OnHDFS
 		s.inMem -= lru.size
+		s.Evictions++
 		if lru.dirty {
 			s.evictIO += lru.size
 			lru.dirty = false

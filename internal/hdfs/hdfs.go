@@ -13,6 +13,7 @@ import (
 
 	"elasticml/internal/conf"
 	"elasticml/internal/matrix"
+	"elasticml/internal/obs"
 )
 
 // ErrTransientRead is the injected transient failure of a DFS read (a
@@ -92,6 +93,25 @@ type FS struct {
 	// readFault, when set, is sampled before each Read; a true draw fails
 	// the read with ErrTransientRead (fault injection hook).
 	readFault func() bool
+
+	// trace, when set, records hdfs.* counters and an instant event per
+	// injected transient read failure.
+	trace *obs.Tracer
+}
+
+// SetTracer attaches an observability tracer (nil detaches): reads, written
+// and read bytes, and transient read errors are recorded as hdfs.* metrics,
+// with a cluster-layer instant event per injected failure.
+func (fs *FS) SetTracer(tr *obs.Tracer) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.trace = tr
+}
+
+func (fs *FS) tracer() *obs.Tracer {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.trace
 }
 
 // New returns an empty file system.
@@ -126,6 +146,9 @@ func (fs *FS) put(f *File) {
 	defer fs.mu.Unlock()
 	fs.files[f.Name] = f
 	fs.bytesWritten += f.SizeOnDisk()
+	m := fs.trace.Metrics()
+	m.Add("hdfs.writes", 1)
+	m.Add("hdfs.bytes_written", int64(f.SizeOnDisk()))
 }
 
 // Stat returns the file metadata, or an error if it does not exist.
@@ -157,13 +180,19 @@ func (fs *FS) Read(name string) (*File, error) {
 	}
 	fs.mu.Lock()
 	fault := fs.readFault
+	tr := fs.trace
 	fs.mu.Unlock()
 	if fault != nil && fault() {
+		tr.Instant(obs.LayerCluster, "hdfs.transient-read-error", obs.A("file", name))
+		tr.Metrics().Add("hdfs.transient_errors", 1)
 		return nil, fmt.Errorf("hdfs: read %q: %w", name, ErrTransientRead)
 	}
 	fs.mu.Lock()
 	fs.bytesRead += f.SizeOnDisk()
 	fs.mu.Unlock()
+	m := tr.Metrics()
+	m.Add("hdfs.reads", 1)
+	m.Add("hdfs.bytes_read", int64(f.SizeOnDisk()))
 	return f, nil
 }
 

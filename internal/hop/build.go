@@ -5,6 +5,7 @@ import (
 
 	"elasticml/internal/dml"
 	"elasticml/internal/hdfs"
+	"elasticml/internal/obs"
 )
 
 // VarMeta is the compile-time knowledge about one live variable: matrix
@@ -35,6 +36,9 @@ func (s SymTab) Clone() SymTab {
 type Compiler struct {
 	FS     *hdfs.FS
 	Params map[string]interface{}
+	// Trace, when non-nil, receives compile-layer spans (initial
+	// compilation phases, dynamic recompilations, scope rebuilds).
+	Trace  *obs.Tracer
 	funcs  map[string]*dml.Function
 	nextID int64
 }
@@ -55,19 +59,26 @@ func (c *Compiler) id() int64 {
 // constant folding, CSE, algebraic rewrites and branch removal applied, and
 // leaf blocks indexed for the resource vector.
 func (c *Compiler) Compile(prog *dml.Program, source string) (*Program, error) {
+	sp := c.Trace.Begin(obs.LayerCompile, "hop.compile")
 	c.funcs = prog.Funcs
+	inl := c.Trace.Begin(obs.LayerCompile, "hop.inline-functions", obs.A("funcs", len(prog.Funcs)))
 	stmts, err := dml.InlineFunctions(prog)
+	inl.End()
 	if err != nil {
 		return nil, err
 	}
 	sblocks := dml.BuildBlocks(stmts)
 	meta := SymTab{}
+	bld := c.Trace.Begin(obs.LayerCompile, "hop.build-dags", obs.A("stmt_blocks", len(sblocks)))
 	blocks, err := c.buildBlocks(sblocks, meta)
+	bld.End()
 	if err != nil {
 		return nil, err
 	}
+	rw := c.Trace.Begin(obs.LayerCompile, "hop.rewrite")
 	pruneDeadWrites(blocks)
 	fuseTransposeMM(blocks)
+	rw.End()
 	p := &Program{Blocks: blocks, Source: source, Params: c.Params}
 	idx := 0
 	WalkBlocks(p.Blocks, func(b *Block) {
@@ -79,6 +90,8 @@ func (c *Compiler) Compile(prog *dml.Program, source string) (*Program, error) {
 		}
 	})
 	p.NumLeaf = idx
+	sp.End(obs.A("leaf_blocks", p.NumLeaf))
+	c.Trace.Metrics().Add("compile.programs", 1)
 	return p, nil
 }
 
@@ -87,13 +100,21 @@ func (c *Compiler) Compile(prog *dml.Program, source string) (*Program, error) {
 // exact sizes of intermediates are known and propagated through the DAG
 // before runtime plan regeneration.
 func (c *Compiler) RecompileGeneric(b *Block, meta SymTab) (*Block, error) {
+	var sp *obs.Span
+	if c.Trace.SpansEnabled() {
+		sp = c.Trace.Begin(obs.LayerCompile, "hop.recompile",
+			obs.A("block", b.Index), obs.A("lines", fmt.Sprintf("%d-%d", b.FirstLine, b.LastLine)))
+	}
 	metaCopy := meta.Clone()
 	nb, err := c.buildGeneric(b.Stmts, metaCopy, b.FirstLine, b.LastLine)
 	if err != nil {
+		sp.End(obs.A("error", err.Error()))
 		return nil, err
 	}
 	nb.Index = b.Index
 	fuseDAG(nb.Roots)
+	sp.End()
+	c.Trace.Metrics().Add("compile.recompiles", 1)
 	return nb, nil
 }
 
@@ -147,6 +168,11 @@ func (c *Compiler) buildBlock(sb *dml.StatementBlock, meta SymTab) ([]*Block, er
 // re-optimization (paper §4.2). Since the scope extends to the end of the
 // call context, dead stores at scope end are prunable.
 func (c *Compiler) RebuildScope(blocks []*Block, meta SymTab) (*Program, error) {
+	var sp *obs.Span
+	if c.Trace.SpansEnabled() {
+		sp = c.Trace.Begin(obs.LayerCompile, "hop.rebuild-scope", obs.A("blocks", len(blocks)))
+		defer sp.End()
+	}
 	srcs := make([]*dml.StatementBlock, 0, len(blocks))
 	for _, b := range blocks {
 		if b.Src == nil {

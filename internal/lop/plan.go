@@ -143,6 +143,21 @@ func (i Instr) String() string {
 	return fmt.Sprintf("CP %s", i.Hop)
 }
 
+// Label renders a stable operator label without instance-specific
+// dimensions — the join key between cost-model predictions and trace spans
+// (the same operator keeps its label across dynamic recompilations, whereas
+// hop IDs do not survive them).
+func (i Instr) Label() string {
+	if i.Kind == InstrMR {
+		return "MR " + i.Job.Name()
+	}
+	label := i.Hop.Kind.String()
+	if i.Hop.Op != "" {
+		label += "(" + i.Hop.Op + ")"
+	}
+	return "CP " + label
+}
+
 // Block is one program block of the runtime plan.
 type Block struct {
 	Kind  dml.BlockKind

@@ -6,6 +6,7 @@ import (
 
 	"elasticml/internal/conf"
 	"elasticml/internal/fault"
+	"elasticml/internal/obs"
 	"elasticml/internal/perf"
 )
 
@@ -75,6 +76,17 @@ func (r TaskReport) Any() bool { return r.Retries > 0 || r.Stragglers > 0 }
 // first-order approximation Hadoop's own speculation heuristics assume.
 func EstimateTimeUnderFaults(pm perf.Model, cc conf.Cluster, spec JobSpec,
 	taskHeap, cpHeap conf.Bytes, inj *fault.Injector, pol TaskPolicy) (TimeBreakdown, TaskReport, error) {
+	return EstimateTimeUnderFaultsTraced(pm, cc, spec, taskHeap, cpHeap, inj, pol, nil, 0)
+}
+
+// EstimateTimeUnderFaultsTraced additionally records per-task-attempt
+// trace events on the cluster layer: one instant event per injected task
+// failure or straggler, stamped at the job's simulated start time `at` and
+// flagged with the attempt count, the slowdown factor, and whether a
+// speculative backup rescued the straggler.
+func EstimateTimeUnderFaultsTraced(pm perf.Model, cc conf.Cluster, spec JobSpec,
+	taskHeap, cpHeap conf.Bytes, inj *fault.Injector, pol TaskPolicy,
+	tr *obs.Tracer, at float64) (TimeBreakdown, TaskReport, error) {
 
 	t := EstimateTime(pm, cc, spec, taskHeap, cpHeap)
 	rep := TaskReport{}
@@ -108,6 +120,7 @@ func EstimateTimeUnderFaults(pm perf.Model, cc conf.Cluster, spec JobSpec,
 			float64(redDop) / float64(redTasks)
 	}
 
+	traced := tr.SpansEnabled()
 	var retriedWork, stragglerTail float64
 	sample := func(n int, perTask float64, kind string) error {
 		for i := 0; i < n; i++ {
@@ -115,20 +128,37 @@ func EstimateTimeUnderFaults(pm perf.Model, cc conf.Cluster, spec JobSpec,
 			attempts := 1
 			for inj.TaskFails() {
 				if attempts >= pol.MaxAttempts {
+					if traced {
+						tr.Complete(obs.LayerCluster, "task.attempt-failed", at, 0,
+							obs.A("job", spec.Name), obs.A("kind", kind), obs.A("task", i),
+							obs.A("attempts", attempts), obs.A("fatal", true))
+					}
 					return fmt.Errorf("%s %s task %d: %d attempts: %w",
 						spec.Name, kind, i, attempts, ErrTaskFailed)
 				}
 				attempts++
 				rep.Retries++
 				retriedWork += perTask
+				if traced {
+					tr.Complete(obs.LayerCluster, "task.attempt-failed", at, 0,
+						obs.A("job", spec.Name), obs.A("kind", kind), obs.A("task", i),
+						obs.A("attempts", attempts), obs.A("fatal", false))
+				}
 			}
 			if factor, ok := inj.Straggles(); ok {
 				rep.Stragglers++
+				speculated := false
 				if pol.Speculative && factor > pol.SpeculativeCap {
 					factor = pol.SpeculativeCap
 					rep.Speculated++
+					speculated = true
 				}
 				stragglerTail += perTask * (factor - 1)
+				if traced {
+					tr.Complete(obs.LayerCluster, "task.straggler", at, perTask*(factor-1),
+						obs.A("job", spec.Name), obs.A("kind", kind), obs.A("task", i),
+						obs.A("factor", factor), obs.A("speculated", speculated))
+				}
 			}
 		}
 		return nil

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// layerTID maps layers onto stable Chrome trace thread IDs so each layer
+// renders as its own track, in pipeline order.
+var layerTID = map[Layer]int{
+	LayerCompile:  1,
+	LayerOptimize: 2,
+	LayerRuntime:  3,
+	LayerCluster:  4,
+	LayerAdapt:    5,
+}
+
+func tidOf(l Layer) int {
+	if tid, ok := layerTID[l]; ok {
+		return tid
+	}
+	return 6
+}
+
+// WriteChromeTrace serializes the recorded events as Chrome trace_event
+// JSON (load in chrome://tracing or Perfetto). Timestamps convert from
+// simulated seconds to microseconds. The encoding is deterministic: events
+// appear in emission order, args in insertion order, and metadata events in
+// fixed thread order — identical simulations yield byte-identical files.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.snapshot()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line []byte) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.Write(line)
+		return err
+	}
+
+	// Process and thread naming metadata, in fixed tid order.
+	if err := emit(metaEvent(0, "process_name", "elasticml")); err != nil {
+		return err
+	}
+	layers := make([]Layer, 0, len(layerTID))
+	for l := range layerTID {
+		layers = append(layers, l)
+	}
+	sort.Slice(layers, func(i, j int) bool { return layerTID[layers[i]] < layerTID[layers[j]] })
+	for _, l := range layers {
+		if err := emit(metaEvent(tidOf(l), "thread_name", string(l))); err != nil {
+			return err
+		}
+	}
+
+	for _, ev := range events {
+		line, err := encodeEvent(ev)
+		if err != nil {
+			return err
+		}
+		if err := emit(line); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// metaEvent builds a Chrome "M" metadata event line.
+func metaEvent(tid int, kind, name string) []byte {
+	n, _ := json.Marshal(name)
+	return []byte(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"%s","args":{"name":%s}}`, tid, kind, n))
+}
+
+// encodeEvent renders one trace event as a single JSON line with fields in
+// fixed order and args in insertion order.
+func encodeEvent(ev event) ([]byte, error) {
+	buf := make([]byte, 0, 128)
+	buf = append(buf, `{"ph":"`...)
+	buf = append(buf, byte(ev.phase))
+	buf = append(buf, `","pid":1,"tid":`...)
+	buf = appendJSONInt(buf, tidOf(ev.layer))
+	buf = append(buf, `,"ts":`...)
+	buf = appendJSONFloat(buf, ev.ts*1e6)
+	if ev.phase == phaseComplete {
+		buf = append(buf, `,"dur":`...)
+		buf = appendJSONFloat(buf, ev.dur*1e6)
+	}
+	if ev.phase == phaseInstant {
+		buf = append(buf, `,"s":"t"`...)
+	}
+	buf = append(buf, `,"cat":`...)
+	buf = appendJSONString(buf, string(ev.layer))
+	buf = append(buf, `,"name":`...)
+	buf = appendJSONString(buf, ev.name)
+	if len(ev.args) > 0 {
+		buf = append(buf, `,"args":{`...)
+		for i, a := range ev.args {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONString(buf, a.Key)
+			buf = append(buf, ':')
+			v, err := json.Marshal(a.Val)
+			if err != nil {
+				return nil, fmt.Errorf("obs: arg %q: %w", a.Key, err)
+			}
+			buf = append(buf, v...)
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, '}')
+	return buf, nil
+}
+
+func appendJSONInt(buf []byte, v int) []byte {
+	b, _ := json.Marshal(v)
+	return append(buf, b...)
+}
+
+func appendJSONFloat(buf []byte, v float64) []byte {
+	b, _ := json.Marshal(v)
+	return append(buf, b...)
+}
+
+func appendJSONString(buf []byte, s string) []byte {
+	b, _ := json.Marshal(s)
+	return append(buf, b...)
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Metrics is a registry of counters, gauges, and histograms. All methods
+// are safe for concurrent use and nil-safe (a nil registry discards).
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*Histogram
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// NewMetrics returns a standalone registry (normally obtained from a
+// Tracer via Metrics()).
+func NewMetrics() *Metrics { return newMetrics() }
+
+// Add increments a counter.
+func (m *Metrics) Add(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Counter returns a counter's current value.
+func (m *Metrics) Counter(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// SetGauge records the latest value of a gauge.
+func (m *Metrics) SetGauge(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.gauges[name] = v
+	m.mu.Unlock()
+}
+
+// Gauge returns a gauge's current value.
+func (m *Metrics) Gauge(name string) float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[name]
+}
+
+// Observe adds one observation to a histogram.
+func (m *Metrics) Observe(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	h, ok := m.hists[name]
+	if !ok {
+		h = &Histogram{Min: math.Inf(1), Max: math.Inf(-1)}
+		m.hists[name] = h
+	}
+	h.observe(v)
+	m.mu.Unlock()
+}
+
+// Hist returns a copy of the named histogram (zero value if absent).
+func (m *Metrics) Hist(name string) Histogram {
+	if m == nil {
+		return Histogram{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.hists[name]; ok {
+		return *h
+	}
+	return Histogram{}
+}
+
+// histBuckets are the upper bounds (seconds) of the histogram's
+// exponential buckets; the final implicit bucket is +Inf.
+var histBuckets = []float64{0.001, 0.01, 0.1, 1, 10, 100, 1000}
+
+// Histogram aggregates observations into count/sum/min/max plus fixed
+// exponential buckets suited to simulated-seconds durations.
+type Histogram struct {
+	Count    int64
+	Sum      float64
+	Min, Max float64
+	// Buckets[i] counts observations <= histBuckets[i]; Buckets[len]
+	// counts the overflow.
+	Buckets [8]int64
+}
+
+func (h *Histogram) observe(v float64) {
+	h.Count++
+	h.Sum += v
+	if v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	for i, ub := range histBuckets {
+		if v <= ub {
+			h.Buckets[i]++
+			return
+		}
+	}
+	h.Buckets[len(histBuckets)]++
+}
+
+// Mean returns the average observation (0 for an empty histogram).
+func (h Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// WriteText renders the registry as sorted, aligned text lines — the flat
+// summary format behind the -metrics flag. Output is deterministic: one
+// "kind name value" line per metric, sorted by name within kind.
+func (m *Metrics) WriteText(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := writeSorted(w, "counter", m.counters, func(v int64) string {
+		return fmt.Sprintf("%d", v)
+	}); err != nil {
+		return err
+	}
+	if err := writeSorted(w, "gauge", m.gauges, func(v float64) string {
+		return fmt.Sprintf("%g", v)
+	}); err != nil {
+		return err
+	}
+	return writeSorted(w, "hist", m.hists, func(h *Histogram) string {
+		return fmt.Sprintf("count=%d sum=%.6g min=%.6g max=%.6g mean=%.6g",
+			h.Count, h.Sum, h.Min, h.Max, h.Mean())
+	})
+}
+
+func writeSorted[V any](w io.Writer, kind string, vals map[string]V, render func(V) string) error {
+	names := make([]string, 0, len(vals))
+	for n := range vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%-8s %-36s %s\n", kind, n, render(vals[n])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Export returns a JSON-marshalable snapshot of the registry. Maps encode
+// with sorted keys under encoding/json, so the export is deterministic.
+func (m *Metrics) Export() map[string]interface{} {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counters := make(map[string]int64, len(m.counters))
+	for k, v := range m.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]float64, len(m.gauges))
+	for k, v := range m.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]map[string]float64, len(m.hists))
+	for k, h := range m.hists {
+		hists[k] = map[string]float64{
+			"count": float64(h.Count), "sum": h.Sum, "min": h.Min, "max": h.Max,
+		}
+	}
+	out := map[string]interface{}{}
+	if len(counters) > 0 {
+		out["counters"] = counters
+	}
+	if len(gauges) > 0 {
+		out["gauges"] = gauges
+	}
+	if len(hists) > 0 {
+		out["histograms"] = hists
+	}
+	return out
+}

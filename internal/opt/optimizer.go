@@ -1,12 +1,14 @@
 package opt
 
 import (
+	"math"
 	"time"
 
 	"elasticml/internal/conf"
 	"elasticml/internal/cost"
 	"elasticml/internal/hop"
 	"elasticml/internal/lop"
+	"elasticml/internal/obs"
 )
 
 // Options configure the optimizer.
@@ -66,6 +68,13 @@ type Stats struct {
 	// (Figure 14): remaining = blocks whose MR dimension was enumerated,
 	// maximized over CP grid points.
 	TotalBlocks, RemainingBlocks int
+	// PrunedBlocks counts per-CP-point block prunings (§3.4: no MR jobs
+	// under the baseline compilation, or all dimensions unknown).
+	PrunedBlocks int
+	// MemoHits counts enumerations skipped because the block was already
+	// proven MR-independent at a smaller CP size (monotonic dependency
+	// elimination across grid points).
+	MemoHits int
 }
 
 // Result is an optimization outcome.
@@ -85,6 +94,12 @@ type Result struct {
 type Optimizer struct {
 	CC   conf.Cluster
 	Opts Options
+	// Trace, when non-nil, receives optimizer-layer spans (one per CP grid
+	// point and per block enumeration) and effort counters. Only the
+	// sequential optimizer records per-point spans; the task-parallel
+	// optimizer (Workers > 1) records the enclosing span only, since
+	// worker interleaving would make the event order non-deterministic.
+	Trace *obs.Tracer
 }
 
 // New returns an optimizer with default options.
@@ -120,6 +135,10 @@ func (o *Optimizer) optimize(hp *hop.Program, currentCP conf.Bytes) (*Result, *R
 		src = dedupeSorted(append(src, currentCP))
 	}
 	stats := Stats{CPPoints: len(src), MRPoints: len(srm), TotalBlocks: hp.NumLeaf}
+	osp := o.Trace.Begin(obs.LayerOptimize, "opt.grid-search",
+		obs.A("grid_cp", o.Opts.GridCP.String()), obs.A("grid_mr", o.Opts.GridMR.String()),
+		obs.A("cp_points", len(src)), obs.A("mr_points", len(srm)),
+		obs.A("blocks", hp.NumLeaf), obs.A("workers", o.Opts.Workers))
 
 	coreCands := o.Opts.CPCoreCandidates
 	if len(coreCands) == 0 {
@@ -156,7 +175,13 @@ func (o *Optimizer) optimize(hp *hop.Program, currentCP conf.Bytes) (*Result, *R
 			if best != nil && !deadline.IsZero() && time.Now().After(deadline) {
 				break
 			}
+			var psp *obs.Span
+			if o.Trace.SpansEnabled() {
+				psp = o.Trace.Begin(obs.LayerOptimize, "opt.cp-point",
+					obs.A("cp", rc.String()), obs.A("cores", cores))
+			}
 			res, cand := o.evalCP(hp, rc, cores, srm, est, &stats, prunedForever, nil)
+			psp.End(obs.A("cost", round6(cand)))
 			best = better(best, &Result{Res: res, Cost: cand})
 			if currentCP > 0 && rc == currentCP && (bestLocal == nil || cand < bestLocal.Cost) {
 				bestLocal = &Result{Res: res, Cost: cand}
@@ -165,6 +190,20 @@ func (o *Optimizer) optimize(hp *hop.Program, currentCP conf.Bytes) (*Result, *R
 		stats.Costings += est.Invocations
 	}
 	stats.OptTime = time.Since(start)
+	if best != nil {
+		osp.End(obs.A("best_cp", best.Res.CP.String()), obs.A("best_cost", round6(best.Cost)))
+	} else {
+		osp.End()
+	}
+	if m := o.Trace.Metrics(); m != nil {
+		m.Add("opt.runs", 1)
+		m.Add("opt.block_compilations", int64(stats.BlockCompilations))
+		m.Add("opt.costings", int64(stats.Costings))
+		m.Add("opt.pruned_blocks", int64(stats.PrunedBlocks))
+		m.Add("opt.memo_hits", int64(stats.MemoHits))
+		m.SetGauge("opt.grid_cp_points", float64(stats.CPPoints))
+		m.SetGauge("opt.grid_mr_points", float64(stats.MRPoints))
+	}
 	if best != nil {
 		best.Stats = stats
 	}
@@ -196,9 +235,11 @@ func (o *Optimizer) evalCP(hp *hop.Program, rc conf.Bytes, cores int, srm []conf
 		memo[i] = memoEntry{ri: minH, cost: est.BlockCost(lb, withCores(conf.NewResources(rc, minH, 1), cores))}
 		if !o.Opts.DisablePruning {
 			if prunedForever[i] {
+				stats.MemoHits++
 				continue
 			}
 			if pruneBlock(lb) {
+				stats.PrunedBlocks++
 				if lop.NumMRJobs([]*lop.Block{lb}) == 0 {
 					prunedForever[i] = true
 				}
@@ -221,7 +262,13 @@ func (o *Optimizer) evalCP(hp *hop.Program, rc conf.Bytes, cores int, srm []conf
 		}
 	} else {
 		for _, t := range tasks {
+			var bsp *obs.Span
+			if o.Trace.SpansEnabled() {
+				bsp = o.Trace.Begin(obs.LayerOptimize, "opt.enum-block",
+					obs.A("block", t.idx), obs.A("cp", t.rc.String()), obs.A("mr_points", len(srm)))
+			}
 			entry := o.enumBlock(t, srm, est, stats)
+			bsp.End(obs.A("best_mr", entry.ri.String()), obs.A("cost", round6(entry.cost)))
 			if entry.cost < memo[t.idx].cost {
 				memo[t.idx] = entry
 			}
@@ -280,6 +327,12 @@ func countBlocks(p *lop.Plan) int {
 	n := 0
 	lop.WalkBlocks(p.Blocks, func(*lop.Block) { n++ })
 	return n
+}
+
+// round6 trims costs to microsecond precision for trace args: full float64
+// noise adds nothing for humans and bloats the trace.
+func round6(v float64) float64 {
+	return math.Round(v*1e6) / 1e6
 }
 
 // pruneBlock reports whether a block's cost is guaranteed independent of

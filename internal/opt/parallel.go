@@ -70,9 +70,11 @@ func (o *Optimizer) optimizeParallel(hp *hop.Program, src, srm []conf.Bytes, cur
 			p.memo[i] = memoEntry{ri: minH, cost: est.BlockCost(lb, withCores(conf.NewResources(rc, minH, 1), cores))}
 			if !o.Opts.DisablePruning {
 				if prunedForever[i] {
+					stats.MemoHits++
 					continue
 				}
 				if pruneBlock(lb) {
+					stats.PrunedBlocks++
 					if lop.NumMRJobs([]*lop.Block{lb}) == 0 {
 						prunedForever[i] = true
 					}

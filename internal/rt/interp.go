@@ -13,6 +13,7 @@ import (
 	"elasticml/internal/hop"
 	"elasticml/internal/lop"
 	"elasticml/internal/mr"
+	"elasticml/internal/obs"
 )
 
 // ErrClusterLost aborts execution when a node failure takes out the last
@@ -135,6 +136,11 @@ type Interp struct {
 	// injection; the zero value selects Hadoop-like defaults (4 attempts,
 	// speculation on) via normalization.
 	Policy mr.TaskPolicy
+	// Trace, when non-nil, receives runtime- and cluster-layer spans: one
+	// complete span per executed instruction (stamped with the simulated
+	// clock), MR job phase spans, task-attempt fault events, and adaptation
+	// spans. Run installs SimTime as the tracer's clock for its duration.
+	Trace *obs.Tracer
 
 	plan        *lop.Plan
 	resChanged  bool
@@ -168,13 +174,60 @@ func (ip *Interp) Run(plan *lop.Plan) error {
 	if ip.Compiler == nil {
 		ip.Compiler = hop.NewCompiler(ip.FS, plan.HopProgram.Params)
 	}
+	if ip.Trace.Enabled() {
+		if ip.Compiler.Trace == nil {
+			ip.Compiler.Trace = ip.Trace
+		}
+		// From here the trace timeline is the simulated clock; compile and
+		// optimization events recorded earlier (logical ticks) stay anchored
+		// before it.
+		ip.Trace.SetClock(func() float64 { return ip.SimTime })
+		defer ip.Trace.SetClock(nil)
+		defer ip.flushMetrics(ip.Stats, stateCounters(ip.State))
+	}
 	if ip.Faults != nil && ip.Faults.Plan().HDFSReadErrorProb > 0 {
 		// Compilation is done (the compiler reads metadata via Stat); from
 		// here every payload read may fail transiently.
 		ip.FS.SetReadFault(ip.Faults.HDFSReadFails)
 		defer ip.FS.SetReadFault(nil)
 	}
-	return ip.execBlocks(plan.Blocks)
+	sp := ip.Trace.Begin(obs.LayerRuntime, "rt.run", obs.A("cp", ip.Res.CP.String()))
+	err := ip.execBlocks(plan.Blocks)
+	if err != nil {
+		sp.End(obs.A("error", err.Error()))
+		return err
+	}
+	sp.End()
+	return nil
+}
+
+// stateCounters snapshots the buffer-pool counters for delta accounting.
+func stateCounters(s *cost.VarState) [2]int {
+	return [2]int{s.Evictions, s.Restores}
+}
+
+// flushMetrics adds this run's execution counters to the metrics registry,
+// as deltas against the given start-of-run snapshots so repeated Runs on
+// one interpreter do not double-count.
+func (ip *Interp) flushMetrics(start Stats, state0 [2]int) {
+	m := ip.Trace.Metrics()
+	if m == nil {
+		return
+	}
+	m.Add("rt.instructions", int64(ip.Stats.Instructions-start.Instructions))
+	m.Add("rt.mr_jobs", int64(ip.Stats.MRJobs-start.MRJobs))
+	m.Add("rt.recompiles", int64(ip.Stats.Recompiles-start.Recompiles))
+	m.Add("rt.migrations", int64(ip.Stats.Migrations-start.Migrations))
+	m.Add("rt.node_failures", int64(ip.Stats.NodeFailures-start.NodeFailures))
+	m.Add("rt.task_retries", int64(ip.Stats.TaskRetries-start.TaskRetries))
+	m.Add("rt.stragglers", int64(ip.Stats.Stragglers-start.Stragglers))
+	m.Add("rt.speculated", int64(ip.Stats.Speculated-start.Speculated))
+	m.Add("rt.hdfs_retries", int64(ip.Stats.HDFSRetries-start.HDFSRetries))
+	m.Add("bufferpool.evictions", int64(ip.State.Evictions-state0[0]))
+	m.Add("bufferpool.restores", int64(ip.State.Restores-state0[1]))
+	m.SetGauge("bufferpool.eviction_bytes", float64(ip.State.EvictionIO()))
+	m.SetGauge("rt.sim_seconds", ip.SimTime)
+	m.SetGauge("rt.recovery_seconds", ip.Stats.RecoverySeconds)
 }
 
 // readAttempts is the DFS read budget: with fault injection active, reads
@@ -360,6 +413,8 @@ func (ip *Interp) processNodeFailures(b *lop.Block) error {
 		ip.CC.Nodes--
 		ip.Est.CC = ip.CC
 		ip.Stats.NodeFailures++
+		ip.Trace.Instant(obs.LayerCluster, "node.fail",
+			obs.A("node", nf.Node), obs.A("at", nf.At), obs.A("nodes_left", ip.CC.Nodes))
 		// Force re-selection of subsequent blocks against the smaller
 		// cluster even if the adapter keeps the resource configuration.
 		ip.resChanged = true
@@ -465,16 +520,24 @@ func (ip *Interp) runInstrs(b *lop.Block) error {
 	}
 	uses := cost.BlockUses(b)
 	evict0 := ip.State.EvictionIO()
+	traced := ip.Trace.SpansEnabled()
+	m := ip.Trace.Metrics()
 	for _, in := range b.Instrs {
 		ip.Stats.Instructions++
+		start := ip.SimTime
 		if in.Kind == lop.InstrCP {
-			ip.SimTime += ip.Est.CPInstrTime(in.Hop, ip.State, inJob, ip.cpCores())
+			dt := ip.Est.CPInstrTime(in.Hop, ip.State, inJob, ip.cpCores())
+			ip.SimTime += dt
+			if traced {
+				ip.Trace.Complete(obs.LayerRuntime, in.Label(), start, dt)
+			}
+			m.Observe("rt.cp_instr_seconds", dt)
 		} else {
 			ip.Stats.MRJobs++
 			if ip.Faults != nil && ip.Faults.TaskFaultsEnabled() {
 				spec, taskHeap := ip.Est.MRJobSpec(in.Job, b, ip.Res, ip.State, uses, inJob)
-				bd, rep, err := mr.EstimateTimeUnderFaults(ip.Est.PM, ip.Est.EffectiveCluster(),
-					spec, taskHeap, ip.Res.CP, ip.Faults, ip.Policy)
+				bd, rep, err := mr.EstimateTimeUnderFaultsTraced(ip.Est.PM, ip.Est.EffectiveCluster(),
+					spec, taskHeap, ip.Res.CP, ip.Faults, ip.Policy, ip.Trace, start)
 				if err != nil {
 					return fmt.Errorf("rt: %w", err)
 				}
@@ -483,6 +546,24 @@ func (ip *Interp) runInstrs(b *lop.Block) error {
 				ip.Stats.Stragglers += rep.Stragglers
 				ip.Stats.Speculated += rep.Speculated
 				ip.Stats.RecoverySeconds += bd.Recovery
+				if traced {
+					ip.Trace.Complete(obs.LayerRuntime, in.Label(), start, bd.Total(),
+						obs.A("maps", spec.NumMaps), obs.A("reducers", spec.NumReducers),
+						obs.A("retries", rep.Retries), obs.A("stragglers", rep.Stragglers),
+						obs.A("speculated", rep.Speculated))
+					ip.traceJobPhases(start, bd)
+				}
+				m.Observe("rt.mr_job_seconds", bd.Total())
+			} else if traced || m != nil {
+				spec, taskHeap := ip.Est.MRJobSpec(in.Job, b, ip.Res, ip.State, uses, inJob)
+				bd := mr.EstimateTime(ip.Est.PM, ip.Est.EffectiveCluster(), spec, taskHeap, ip.Res.CP)
+				ip.SimTime += bd.Total()
+				if traced {
+					ip.Trace.Complete(obs.LayerRuntime, in.Label(), start, bd.Total(),
+						obs.A("maps", spec.NumMaps), obs.A("reducers", spec.NumReducers))
+					ip.traceJobPhases(start, bd)
+				}
+				m.Observe("rt.mr_job_seconds", bd.Total())
 			} else {
 				ip.SimTime += ip.Est.MRJobTime(in.Job, b, ip.Res, ip.State, uses, inJob)
 			}
@@ -490,4 +571,28 @@ func (ip *Interp) runInstrs(b *lop.Block) error {
 	}
 	ip.SimTime += ip.Est.PM.WriteTime(ip.State.EvictionIO()-evict0, 1) * ip.Est.PM.EvictionPenalty
 	return nil
+}
+
+// traceJobPhases emits the MR phase breakdown as back-to-back cluster-layer
+// spans under the job's runtime span, in the order of the analytic model.
+func (ip *Interp) traceJobPhases(start float64, bd mr.TimeBreakdown) {
+	t := start
+	phase := func(name string, d float64) {
+		if d <= 0 {
+			return
+		}
+		ip.Trace.Complete(obs.LayerCluster, name, t, d)
+		t += d
+	}
+	phase("job.latency", bd.JobLatency)
+	phase("task.launch", bd.TaskLatency)
+	phase("export", bd.Export)
+	phase("map.read", bd.MapRead)
+	phase("broadcast", bd.Broadcast)
+	phase("map.compute", bd.MapCompute)
+	phase("map.write", bd.MapWrite)
+	phase("shuffle", bd.Shuffle)
+	phase("reduce.compute", bd.ReduceCompute)
+	phase("reduce.write", bd.ReduceWrite)
+	phase("recovery", bd.Recovery)
 }

@@ -15,6 +15,7 @@ import (
 
 	"elasticml/internal/conf"
 	"elasticml/internal/fault"
+	"elasticml/internal/obs"
 )
 
 // Typed error conditions surfaced by the ResourceManager. Callers test
@@ -81,6 +82,22 @@ type ResourceManager struct {
 	nextID    ContainerID
 	allocated map[ContainerID]Container
 	listeners []func(FailureEvent)
+	trace     *obs.Tracer
+}
+
+// SetTracer attaches an observability tracer: allocations, releases, kills
+// and node failures/restores are recorded as cluster-layer instant events
+// plus yarn.* counters. A nil tracer detaches.
+func (rm *ResourceManager) SetTracer(tr *obs.Tracer) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	rm.trace = tr
+}
+
+func (rm *ResourceManager) tracer() *obs.Tracer {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return rm.trace
 }
 
 // NewResourceManager returns an RM for the given cluster configuration.
@@ -151,6 +168,9 @@ func (rm *ResourceManager) Allocate(mem conf.Bytes) (Container, error) {
 	rm.nextID++
 	c := Container{ID: rm.nextID, Node: best, Mem: req}
 	rm.allocated[c.ID] = c
+	rm.trace.Instant(obs.LayerCluster, "container.alloc",
+		obs.A("id", int64(c.ID)), obs.A("node", c.Node), obs.A("mem", c.Mem.String()))
+	rm.trace.Metrics().Add("yarn.allocations", 1)
 	return c, nil
 }
 
@@ -251,6 +271,9 @@ func (rm *ResourceManager) Release(id ContainerID) error {
 	if !rm.failed[c.Node] {
 		rm.freeMem[c.Node] += c.Mem
 	}
+	rm.trace.Instant(obs.LayerCluster, "container.release",
+		obs.A("id", int64(id)), obs.A("node", c.Node))
+	rm.trace.Metrics().Add("yarn.releases", 1)
 	return nil
 }
 
@@ -279,6 +302,11 @@ func (rm *ResourceManager) FailNode(node int) ([]Container, error) {
 		}
 	}
 	rm.mu.Unlock()
+	if tr := rm.tracer(); tr != nil {
+		tr.Instant(obs.LayerCluster, "node.manager-fail",
+			obs.A("node", node), obs.A("lost_containers", len(lost)))
+		tr.Metrics().Add("yarn.node_failures", 1)
+	}
 	rm.notify(FailureEvent{Kind: NodeFailed, Node: node, Lost: lost})
 	return lost, nil
 }
@@ -297,6 +325,10 @@ func (rm *ResourceManager) RestoreNode(node int) error {
 	rm.failed[node] = false
 	rm.freeMem[node] = rm.cc.MemPerNode
 	rm.mu.Unlock()
+	if tr := rm.tracer(); tr != nil {
+		tr.Instant(obs.LayerCluster, "node.manager-restore", obs.A("node", node))
+		tr.Metrics().Add("yarn.node_restores", 1)
+	}
 	rm.notify(FailureEvent{Kind: NodeRestored, Node: node})
 	return nil
 }
@@ -315,6 +347,11 @@ func (rm *ResourceManager) KillContainer(id ContainerID) error {
 		rm.freeMem[c.Node] += c.Mem
 	}
 	rm.mu.Unlock()
+	if tr := rm.tracer(); tr != nil {
+		tr.Instant(obs.LayerCluster, "container.kill",
+			obs.A("id", int64(id)), obs.A("node", c.Node))
+		tr.Metrics().Add("yarn.container_kills", 1)
+	}
 	rm.notify(FailureEvent{Kind: ContainerKilled, Node: c.Node, Lost: []Container{c}})
 	return nil
 }
@@ -378,6 +415,10 @@ type ThroughputSpec struct {
 	// MaxAttempts bounds per-application attempts under faults
 	// (default 3).
 	MaxAttempts int
+	// Trace, when non-nil, records one cluster-layer span per application
+	// run (stamped with the discrete-event clock) and instant events for
+	// injected kills.
+	Trace *obs.Tracer
 }
 
 // ThroughputResult reports the simulated outcome.
@@ -445,6 +486,7 @@ func SimulateThroughput(cc conf.Cluster, spec ThroughputSpec) ThroughputResult {
 	)
 	total := spec.Users * spec.AppsPerUser
 
+	traced := spec.Trace.SpansEnabled()
 	start := func(user int, now float64) {
 		if retrying[user] {
 			retrying[user] = false
@@ -455,6 +497,10 @@ func SimulateThroughput(cc conf.Cluster, spec ThroughputSpec) ThroughputResult {
 		running++
 		if running > maxPar {
 			maxPar = running
+		}
+		if traced {
+			spec.Trace.Complete(obs.LayerCluster, "yarn.app", now, spec.Duration,
+				obs.A("user", user), obs.A("attempt", attempts[user]+1))
 		}
 		heap.Push(&events, event{time: now + spec.Duration, user: user})
 	}
@@ -473,6 +519,10 @@ func SimulateThroughput(cc conf.Cluster, spec ThroughputSpec) ThroughputResult {
 		running--
 		killed := spec.Faults != nil && spec.Faults.ContainerKilled()
 		if killed {
+			if traced {
+				spec.Trace.Complete(obs.LayerCluster, "yarn.app-killed", clock, 0,
+					obs.A("user", ev.user), obs.A("attempt", attempts[ev.user]+1))
+			}
 			attempts[ev.user]++
 			if attempts[ev.user] < maxAttempts {
 				// Resubmit the same application (queued like any other).

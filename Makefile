@@ -1,10 +1,11 @@
 # Developer entry points. `make check` is the full pre-merge gate: vet,
-# unit tests, and the race detector over the parallel optimizer and the
-# fault-injection/recovery paths.
+# unit tests, the race detector over the parallel optimizer and the
+# fault-injection/recovery paths, and a doubled race run of the matrix
+# kernel pool and the CP interpreter (the multi-threaded runtime).
 
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race race-kernels check bench
 
 build:
 	$(GO) build ./...
@@ -18,7 +19,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race
+# The kernel pool and interpreter get a second, repeated race pass: pool
+# scheduling is timing-sensitive, so -count=2 re-runs every test against a
+# warm pool (the first run always starts the workers lazily).
+race-kernels:
+	$(GO) test -race -count=2 ./internal/matrix ./internal/rt
+
+check: vet race race-kernels
 
 bench:
 	$(GO) run ./cmd/elastic-bench -quick -exp all

@@ -28,6 +28,7 @@ import (
 	"elasticml/internal/hdfs"
 	"elasticml/internal/hop"
 	"elasticml/internal/lop"
+	"elasticml/internal/matrix"
 	"elasticml/internal/mr"
 	"elasticml/internal/obs"
 	"elasticml/internal/opt"
@@ -51,6 +52,7 @@ func main() {
 		mrFlag   = flag.String("mr", "2GB", "MR task max heap")
 		optimize = flag.Bool("optimize", false, "run initial resource optimization")
 		doAdapt  = flag.Bool("adapt", false, "enable runtime resource adaptation")
+		dop      = flag.Int("dop", 1, "CP degree of parallelism: cores used by matrix kernels and parfor (1 = the paper's single-threaded CP)")
 		classes  = flag.Int64("classes", 20, "label cardinality (table() output width)")
 		verbose  = flag.Bool("v", false, "stream program print() output")
 		explain  = flag.Bool("explain", false, "print the runtime plan before executing")
@@ -93,6 +95,9 @@ func main() {
 
 	fs := hdfs.New()
 	fs.SetTracer(tr)
+	// Matrix worker-pool counters (kernels, chunks, stolen) land in the
+	// same registry as the runtime counters.
+	matrix.SetMetrics(tr.Metrics())
 	datagen.Describe(fs, s)
 
 	fplan := fault.Plan{
@@ -143,7 +148,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res := conf.NewResources(cp, mrH, hp.NumLeaf)
+	res := conf.NewResources(cp, mrH, hp.NumLeaf).WithCores(*dop)
 	var optSecs float64
 	if *optimize {
 		o := opt.New(cc)
@@ -152,6 +157,11 @@ func main() {
 		result := o.Optimize(hp)
 		optSecs = time.Since(start).Seconds()
 		res = result.Res
+		if res.CPCores < 1 {
+			// The optimizer enumerated memory only; keep the requested CP
+			// degree of parallelism.
+			res = res.WithCores(*dop)
+		}
 		if !*jsonOut {
 			fmt.Fprintf(out, "optimizer: R* = %s (estimated %.1fs, found in %v)\n",
 				res.String(), result.Cost, result.Stats.OptTime)

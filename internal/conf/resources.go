@@ -48,6 +48,15 @@ func (r Resources) Cores() int {
 	return r.CPCores
 }
 
+// WithCores returns a copy of the vector with the CP core count set (the
+// MR slice is shared; values below 1 select the single-threaded CP). This
+// is the degree-of-parallelism knob threaded from the cmd flags through
+// the optimizer's core enumeration into the runtime's kernel pool.
+func (r Resources) WithCores(cores int) Resources {
+	r.CPCores = cores
+	return r
+}
+
 // MRFor returns the MR task heap for block i, falling back to the first
 // entry (or CP) when the vector is shorter than the block list. This makes
 // uniform vectors usable against programs of any size.

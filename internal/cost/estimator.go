@@ -216,6 +216,12 @@ func (e *Estimator) CPInstrTime(h *hop.Hop, state *VarState, inJob map[int64]*lo
 		readBytes := state.EnsureInMemory(key, trackedSize(inp))
 		t += e.PM.ReadTime(readBytes, 1)
 	}
+	// The CP container runs on one worker node: a degree of parallelism
+	// above the node's physical cores cannot speed up compute (it only
+	// over-subscribes the CPU), so the charged rate saturates there.
+	if e.CC.CoresPerNode > 0 && cores > e.CC.CoresPerNode {
+		cores = e.CC.CoresPerNode
+	}
 	t += e.PM.ComputeTime(Flops(h), cores)
 	if h.Kind == hop.KindWrite {
 		src := h.Inputs[0]

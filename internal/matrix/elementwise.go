@@ -107,24 +107,32 @@ func b2f(b bool) float64 {
 	return 0
 }
 
+// ewFlatGrain is the cells-per-chunk grain for flat elementwise maps.
+const ewFlatGrain = 4096
+
 // EW computes the elementwise operation c = a op b with R-style broadcast:
 // operands must have equal dimensions, or one may be a column vector
 // matching the other's rows, or a row vector matching its columns, or 1x1.
+// Both paths are pure per-cell maps, partitioned across the worker pool.
 func EW(op BinaryOp, a, b *Matrix) *Matrix {
 	rows, cols := broadcastDims(a, b)
 	out := NewDense(rows, cols)
 	// Fast path: equal-dim dense-dense.
 	if a.sp == nil && b.sp == nil && a.rows == b.rows && a.cols == b.cols && a.rows == rows {
-		for i := range out.dense {
-			out.dense[i] = op.Apply(a.dense[i], b.dense[i])
-		}
+		parRange(len(out.dense), ewFlatGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.dense[i] = op.Apply(a.dense[i], b.dense[i])
+			}
+		})
 		return out.Compact()
 	}
-	for i := 0; i < rows; i++ {
-		for j := 0; j < cols; j++ {
-			out.dense[i*cols+j] = op.Apply(bcAt(a, i, j), bcAt(b, i, j))
+	parRange(rows, chunkGrain(rows, 64), func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			for j := 0; j < cols; j++ {
+				out.dense[i*cols+j] = op.Apply(bcAt(a, i, j), bcAt(b, i, j))
+			}
 		}
-	}
+	})
 	return out.Compact()
 }
 
@@ -134,23 +142,33 @@ func EWScalarRight(op BinaryOp, a *Matrix, s float64) *Matrix {
 	// and others only when the identity holds for this s.
 	if a.sp != nil && op == MulEW {
 		out := &Matrix{rows: a.rows, cols: a.cols, sp: a.sp.clone()}
-		for i := range out.sp.vals {
-			out.sp.vals[i] *= s
-		}
+		parRange(len(out.sp.vals), ewFlatGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.sp.vals[i] *= s
+			}
+		})
 		return out
 	}
 	out := NewDense(a.rows, a.cols)
 	if a.sp != nil {
 		z := op.Apply(0, s)
-		for i := range out.dense {
-			out.dense[i] = z
-		}
-		a.sp.each(func(i, j int, v float64) { out.dense[i*a.cols+j] = op.Apply(v, s) })
+		parRange(len(out.dense), ewFlatGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.dense[i] = z
+			}
+		})
+		parRange(a.rows, chunkGrain(a.rows, 64), func(rlo, rhi int) {
+			for i := rlo; i < rhi; i++ {
+				a.sp.eachRow(i, func(j int, v float64) { out.dense[i*a.cols+j] = op.Apply(v, s) })
+			}
+		})
 		return out.Compact()
 	}
-	for i, v := range a.dense {
-		out.dense[i] = op.Apply(v, s)
-	}
+	parRange(len(a.dense), ewFlatGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.dense[i] = op.Apply(a.dense[i], s)
+		}
+	})
 	return out.Compact()
 }
 
@@ -159,15 +177,23 @@ func EWScalarLeft(op BinaryOp, s float64, a *Matrix) *Matrix {
 	out := NewDense(a.rows, a.cols)
 	if a.sp != nil {
 		z := op.Apply(s, 0)
-		for i := range out.dense {
-			out.dense[i] = z
-		}
-		a.sp.each(func(i, j int, v float64) { out.dense[i*a.cols+j] = op.Apply(s, v) })
+		parRange(len(out.dense), ewFlatGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.dense[i] = z
+			}
+		})
+		parRange(a.rows, chunkGrain(a.rows, 64), func(rlo, rhi int) {
+			for i := rlo; i < rhi; i++ {
+				a.sp.eachRow(i, func(j int, v float64) { out.dense[i*a.cols+j] = op.Apply(s, v) })
+			}
+		})
 		return out.Compact()
 	}
-	for i, v := range a.dense {
-		out.dense[i] = op.Apply(s, v)
-	}
+	parRange(len(a.dense), ewFlatGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.dense[i] = op.Apply(s, a.dense[i])
+		}
+	})
 	return out.Compact()
 }
 
@@ -295,16 +321,20 @@ func (op UnaryOp) sparseSafe() bool {
 func Unary(op UnaryOp, a *Matrix) *Matrix {
 	if a.sp != nil && op.sparseSafe() {
 		out := &Matrix{rows: a.rows, cols: a.cols, sp: a.sp.clone()}
-		for i := range out.sp.vals {
-			out.sp.vals[i] = op.Apply(out.sp.vals[i])
-		}
+		parRange(len(out.sp.vals), ewFlatGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.sp.vals[i] = op.Apply(out.sp.vals[i])
+			}
+		})
 		return out
 	}
 	d := a.ToDense()
 	out := NewDense(a.rows, a.cols)
-	for i, v := range d.dense {
-		out.dense[i] = op.Apply(v)
-	}
+	parRange(len(d.dense), ewFlatGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.dense[i] = op.Apply(d.dense[i])
+		}
+	})
 	return out.Compact()
 }
 

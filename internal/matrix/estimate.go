@@ -1,6 +1,10 @@
 package matrix
 
-import "elasticml/internal/conf"
+import (
+	"math"
+
+	"elasticml/internal/conf"
+)
 
 // The estimator mirrors the compiler's worst-case memory estimation
 // (paper §2.1 / Appendix B): in-memory size of a matrix given dimensions
@@ -17,9 +21,25 @@ const sparseCellBytes = 12
 // sparseRowBytes is the per-row overhead of CSR (row pointer).
 const sparseRowBytes = 8
 
+// maxSizeBytes is the saturation ceiling for size estimates: worst-case
+// propagated dimensions (e.g. 1e9 x 1e9 HOP estimates) overflow int64 cell
+// counts, and a wrapped-negative size would defeat every memory budget
+// comparison. Estimates clamp here instead.
+const maxSizeBytes = conf.Bytes(math.MaxInt64)
+
+// PreferSparse reports whether a rows x cols matrix with the given sparsity
+// is stored in CSR: below the sparsity threshold and only when CSR is
+// actually smaller than dense. The size comparison subsumes the historic
+// cols > 1 guard (for an n x 1 vector the per-row pointer overhead always
+// makes CSR larger) and is shared by Compact and EstimateSize so the
+// estimator costs exactly the representation the runtime picks.
+func PreferSparse(rows, cols int64, sparsity float64) bool {
+	return sparsity < SparsityThreshold && SparseSize(rows, cols, sparsity) < DenseSize(rows, cols)
+}
+
 // EstimateSize returns the in-memory size of a rows x cols matrix with the
-// given sparsity, choosing the cheaper of dense and sparse representation
-// subject to the sparsity threshold (as the runtime would).
+// given sparsity, choosing dense or sparse representation exactly as the
+// runtime would (PreferSparse).
 func EstimateSize(rows, cols int64, sparsity float64) conf.Bytes {
 	if rows <= 0 || cols <= 0 {
 		return 0
@@ -30,25 +50,35 @@ func EstimateSize(rows, cols int64, sparsity float64) conf.Bytes {
 	if sparsity > 1 {
 		sparsity = 1
 	}
-	dense := DenseSize(rows, cols)
-	if sparsity < SparsityThreshold && cols > 1 {
-		sp := SparseSize(rows, cols, sparsity)
-		if sp < dense {
-			return sp
-		}
+	if PreferSparse(rows, cols, sparsity) {
+		return SparseSize(rows, cols, sparsity)
 	}
-	return dense
+	return DenseSize(rows, cols)
 }
 
-// DenseSize returns the in-memory size of a dense rows x cols matrix.
+// DenseSize returns the in-memory size of a dense rows x cols matrix,
+// saturating at maxSizeBytes instead of wrapping negative.
 func DenseSize(rows, cols int64) conf.Bytes {
+	if rows <= 0 || cols <= 0 {
+		return 0
+	}
+	if b := float64(rows) * float64(cols) * denseCellBytes; b >= float64(maxSizeBytes) {
+		return maxSizeBytes
+	}
 	return conf.Bytes(rows * cols * denseCellBytes)
 }
 
 // SparseSize returns the in-memory size of a CSR rows x cols matrix with
-// the given sparsity.
+// the given sparsity, saturating at maxSizeBytes instead of wrapping
+// negative.
 func SparseSize(rows, cols int64, sparsity float64) conf.Bytes {
+	if rows <= 0 || cols <= 0 {
+		return 0
+	}
 	nnz := float64(rows) * float64(cols) * sparsity
+	if b := nnz*sparseCellBytes + float64(rows)*sparseRowBytes; b >= float64(maxSizeBytes) {
+		return maxSizeBytes
+	}
 	return conf.Bytes(nnz*sparseCellBytes) + conf.Bytes(rows*sparseRowBytes)
 }
 

@@ -181,9 +181,10 @@ func (m *Matrix) ToSparse() *Matrix {
 }
 
 // Compact converts the matrix to its preferred representation based on the
-// actual sparsity (below SparsityThreshold => CSR).
+// actual sparsity (PreferSparse: below SparsityThreshold and CSR actually
+// smaller — the same predicate the memory estimator costs).
 func (m *Matrix) Compact() *Matrix {
-	if m.Sparsity() < SparsityThreshold && m.cols > 1 {
+	if PreferSparse(int64(m.rows), int64(m.cols), m.Sparsity()) {
 		return m.ToSparse()
 	}
 	return m.ToDense()

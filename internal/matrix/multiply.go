@@ -2,9 +2,20 @@ package matrix
 
 import "fmt"
 
+// Partition grains for the multiply kernels. Grains depend only on the
+// problem shape (never on the worker count) so partition boundaries — and
+// with them the floating-point accumulation order — are fixed.
+const (
+	mulRowGrain = 8  // output rows per chunk for row-partitioned multiplies
+	dsRowGrain  = 32 // rows per chunk for mulDS (each chunk rescans b's nnz)
+)
+
 // Mul computes the matrix product a %*% b. It dispatches on the operand
 // representations: dense-dense uses a cache-friendly ikj loop, sparse-dense
 // iterates stored non-zeros, and sparse-sparse accumulates per output row.
+// All four dispatches are row-partitioned across the shared worker pool;
+// every output row is produced by exactly one worker in the sequential
+// accumulation order, so results are byte-identical for any parallelism.
 func Mul(a, b *Matrix) *Matrix {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("matrix: mul dimension mismatch %dx%d %%*%% %dx%d", a.rows, a.cols, b.rows, b.cols))
@@ -26,46 +37,54 @@ func Mul(a, b *Matrix) *Matrix {
 func mulDD(a, b *Matrix) *Matrix {
 	c := NewDense(a.rows, b.cols)
 	n, k, m := a.rows, a.cols, b.cols
-	for i := 0; i < n; i++ {
-		ci := c.dense[i*m : (i+1)*m]
-		ai := a.dense[i*k : (i+1)*k]
-		for p := 0; p < k; p++ {
-			av := ai[p]
-			if av == 0 {
-				continue
-			}
-			bp := b.dense[p*m : (p+1)*m]
-			for j := 0; j < m; j++ {
-				ci[j] += av * bp[j]
+	parRange(n, mulRowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.dense[i*m : (i+1)*m]
+			ai := a.dense[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := b.dense[p*m : (p+1)*m]
+				for j := 0; j < m; j++ {
+					ci[j] += av * bp[j]
+				}
 			}
 		}
-	}
+	})
 	return c
 }
 
 func mulSD(a, b *Matrix) *Matrix {
 	c := NewDense(a.rows, b.cols)
 	m := b.cols
-	for i := 0; i < a.rows; i++ {
-		ci := c.dense[i*m : (i+1)*m]
-		a.sp.eachRow(i, func(p int, av float64) {
-			bp := b.dense[p*m : (p+1)*m]
-			for j := 0; j < m; j++ {
-				ci[j] += av * bp[j]
-			}
-		})
-	}
+	parRange(a.rows, mulRowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.dense[i*m : (i+1)*m]
+			a.sp.eachRow(i, func(p int, av float64) {
+				bp := b.dense[p*m : (p+1)*m]
+				for j := 0; j < m; j++ {
+					ci[j] += av * bp[j]
+				}
+			})
+		}
+	})
 	return c
 }
 
 func mulDS(a, b *Matrix) *Matrix {
 	c := NewDense(a.rows, b.cols)
 	m := b.cols
-	// For each stored b[p][j], add a[:,p]*v into c[:,j].
-	b.sp.each(func(p, j int, v float64) {
-		for i := 0; i < a.rows; i++ {
-			c.dense[i*m+j] += a.dense[i*a.cols+p] * v
-		}
+	// For each stored b[p][j], add a[:,p]*v into c[:,j]. Partitioned over
+	// a's rows: every chunk rescans b's non-zeros but updates only its own
+	// row range, preserving the per-cell accumulation order.
+	parRange(a.rows, dsRowGrain, func(lo, hi int) {
+		b.sp.each(func(p, j int, v float64) {
+			for i := lo; i < hi; i++ {
+				c.dense[i*m+j] += a.dense[i*a.cols+p] * v
+			}
+		})
 	})
 	return c
 }
@@ -73,96 +92,136 @@ func mulDS(a, b *Matrix) *Matrix {
 func mulSS(a, b *Matrix) *Matrix {
 	c := NewDense(a.rows, b.cols)
 	m := b.cols
-	for i := 0; i < a.rows; i++ {
-		ci := c.dense[i*m : (i+1)*m]
-		a.sp.eachRow(i, func(p int, av float64) {
-			b.sp.eachRow(p, func(j int, bv float64) {
-				ci[j] += av * bv
+	parRange(a.rows, mulRowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.dense[i*m : (i+1)*m]
+			a.sp.eachRow(i, func(p int, av float64) {
+				b.sp.eachRow(p, func(j int, bv float64) {
+					ci[j] += av * bv
+				})
 			})
-		})
-	}
+		}
+	})
 	return c.Compact()
 }
 
 // TSMM computes the transpose-self matrix multiply t(x) %*% x, a dedicated
 // kernel exploited by the compiler for pattern t(X)%*%X (only the upper
-// triangle is computed and mirrored).
+// triangle is computed and mirrored). The upper triangle is partitioned by
+// output row j1; each worker scans x's rows in ascending order so every
+// cell accumulates in the sequential order.
 func TSMM(x *Matrix) *Matrix {
 	k := x.cols
 	c := NewDense(k, k)
 	if x.sp != nil {
-		for i := 0; i < x.rows; i++ {
-			x.sp.eachRow(i, func(j1 int, v1 float64) {
-				x.sp.eachRow(i, func(j2 int, v2 float64) {
-					if j2 >= j1 {
-						c.dense[j1*k+j2] += v1 * v2
+		// Sparse rows are rescanned per chunk; cap the chunk count so the
+		// rescan overhead stays bounded.
+		parRange(k, chunkGrain(k, 16), func(lo, hi int) {
+			for i := 0; i < x.rows; i++ {
+				x.sp.eachRow(i, func(j1 int, v1 float64) {
+					if j1 < lo || j1 >= hi {
+						return
 					}
+					x.sp.eachRow(i, func(j2 int, v2 float64) {
+						if j2 >= j1 {
+							c.dense[j1*k+j2] += v1 * v2
+						}
+					})
 				})
-			})
-		}
+			}
+		})
 	} else {
-		for i := 0; i < x.rows; i++ {
-			xi := x.dense[i*k : (i+1)*k]
-			for j1 := 0; j1 < k; j1++ {
-				v1 := xi[j1]
-				if v1 == 0 {
-					continue
-				}
-				cj := c.dense[j1*k : (j1+1)*k]
-				for j2 := j1; j2 < k; j2++ {
-					cj[j2] += v1 * xi[j2]
+		parRange(k, mulRowGrain, func(lo, hi int) {
+			for i := 0; i < x.rows; i++ {
+				xi := x.dense[i*k : (i+1)*k]
+				for j1 := lo; j1 < hi; j1++ {
+					v1 := xi[j1]
+					if v1 == 0 {
+						continue
+					}
+					cj := c.dense[j1*k : (j1+1)*k]
+					for j2 := j1; j2 < k; j2++ {
+						cj[j2] += v1 * xi[j2]
+					}
 				}
 			}
-		}
+		})
 	}
 	// Mirror the upper triangle.
-	for i := 0; i < k; i++ {
-		for j := i + 1; j < k; j++ {
-			c.dense[j*k+i] = c.dense[i*k+j]
+	parRange(k, chunkGrain(k, 16), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < k; j++ {
+				c.dense[j*k+i] = c.dense[i*k+j]
+			}
 		}
-	}
+	})
 	return c
 }
 
 // MulChainMVV computes t(X) %*% (X %*% v) without materializing the large
 // intermediate, corresponding to SystemML's MapMMChain physical operator.
 // If w is non-nil it computes t(X) %*% (w * (X %*% v)) (the weighted chain
-// pattern of logistic-regression gradients).
+// pattern of logistic-regression gradients). Parallel execution runs two
+// passes: per-row dot products (row-partitioned), then the output
+// accumulation partitioned by output index, scanning rows in ascending
+// order — both passes reproduce the sequential accumulation order exactly.
 func MulChainMVV(x, v, w *Matrix) *Matrix {
 	if x.cols != v.rows || v.cols != 1 {
 		panic(fmt.Sprintf("matrix: mmchain dimension mismatch %dx%d vs %dx%d", x.rows, x.cols, v.rows, v.cols))
 	}
-	out := NewDense(x.cols, 1)
+	k := x.cols
+	out := NewDense(k, 1)
+	dots := make([]float64, x.rows)
 	if x.sp != nil {
-		for i := 0; i < x.rows; i++ {
+		parRange(x.rows, mulRowGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				var dot float64
+				x.sp.eachRow(i, func(j int, xv float64) { dot += xv * v.dense[j] })
+				if w != nil {
+					dot *= w.At(i, 0)
+				}
+				dots[i] = dot
+			}
+		})
+		parRange(k, chunkGrain(k, 16), func(lo, hi int) {
+			for i := 0; i < x.rows; i++ {
+				dot := dots[i]
+				if dot == 0 {
+					continue
+				}
+				x.sp.eachRow(i, func(j int, xv float64) {
+					if j >= lo && j < hi {
+						out.dense[j] += xv * dot
+					}
+				})
+			}
+		})
+		return out
+	}
+	parRange(x.rows, mulRowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi := x.dense[i*k : (i+1)*k]
 			var dot float64
-			x.sp.eachRow(i, func(j int, xv float64) { dot += xv * v.dense[j] })
+			for j := 0; j < k; j++ {
+				dot += xi[j] * v.dense[j]
+			}
 			if w != nil {
 				dot *= w.At(i, 0)
 			}
+			dots[i] = dot
+		}
+	})
+	parRange(k, chunkGrain(k, 16), func(lo, hi int) {
+		for i := 0; i < x.rows; i++ {
+			dot := dots[i]
 			if dot == 0 {
 				continue
 			}
-			x.sp.eachRow(i, func(j int, xv float64) { out.dense[j] += xv * dot })
+			xi := x.dense[i*k : (i+1)*k]
+			for j := lo; j < hi; j++ {
+				out.dense[j] += xi[j] * dot
+			}
 		}
-		return out
-	}
-	k := x.cols
-	for i := 0; i < x.rows; i++ {
-		xi := x.dense[i*k : (i+1)*k]
-		var dot float64
-		for j := 0; j < k; j++ {
-			dot += xi[j] * v.dense[j]
-		}
-		if w != nil {
-			dot *= w.At(i, 0)
-		}
-		if dot == 0 {
-			continue
-		}
-		for j := 0; j < k; j++ {
-			out.dense[j] += xi[j] * dot
-		}
-	}
+	})
 	return out
 }

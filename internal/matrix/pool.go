@@ -1,0 +1,188 @@
+package matrix
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"elasticml/internal/obs"
+)
+
+// The CP matrix runtime executes hot kernels on a shared, bounded worker
+// pool (SystemML's multi-threaded CP backend). Work is split by fixed
+// row/column partition boundaries that depend only on the problem size,
+// never on the worker count, and every output cell is produced by exactly
+// one partition in the same floating-point accumulation order as the
+// sequential loops. Results are therefore byte-identical for any degree of
+// parallelism; the knob only changes wall-clock time, which keeps the
+// costing model's compute/(cores·peak) assumption honest.
+
+// maxParallelism bounds the configurable degree of parallelism: beyond a
+// small multiple of the machine's cores, extra workers only add scheduling
+// overhead.
+func maxParallelism() int { return 4 * runtime.GOMAXPROCS(0) }
+
+var (
+	poolOnce sync.Once
+	poolCh   chan func()
+	poolSize int
+
+	// dop is the configured degree of parallelism for subsequent kernel
+	// invocations (1 = sequential, the default).
+	dop atomic.Int64
+
+	// poolMetrics optionally receives pool counters (see SetMetrics).
+	poolMetrics atomic.Pointer[obs.Metrics]
+
+	statKernels atomic.Int64 // parallel kernel invocations
+	statChunks  atomic.Int64 // partition chunks dispatched
+	statStolen  atomic.Int64 // chunks executed by pool workers (not the caller)
+)
+
+func init() { dop.Store(1) }
+
+// ensurePool lazily starts the shared worker goroutines. The pool is
+// bounded at GOMAXPROCS workers (at least two, so concurrency is exercised
+// even on single-core machines); per-kernel parallelism on top of it is
+// limited by SetParallelism.
+func ensurePool() {
+	poolOnce.Do(func() {
+		poolSize = runtime.GOMAXPROCS(0)
+		if poolSize < 2 {
+			poolSize = 2
+		}
+		poolCh = make(chan func())
+		for i := 0; i < poolSize; i++ {
+			go func() {
+				for task := range poolCh {
+					task()
+				}
+			}()
+		}
+	})
+}
+
+// SetParallelism sets the degree of parallelism used by subsequent kernel
+// invocations. Values below 1 select 1 (sequential); values above 4x
+// GOMAXPROCS are clamped. Results are independent of this setting.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if m := maxParallelism(); n > m {
+		n = m
+	}
+	dop.Store(int64(n))
+}
+
+// Parallelism returns the configured degree of parallelism.
+func Parallelism() int { return int(dop.Load()) }
+
+// SetMetrics wires the pool's counters into an obs registry: every parallel
+// kernel invocation adds to matrix.pool.kernels, matrix.pool.chunks, and
+// matrix.pool.stolen (chunks executed by pool workers rather than the
+// calling goroutine). Pass nil to detach.
+func SetMetrics(m *obs.Metrics) { poolMetrics.Store(m) }
+
+// PoolStats returns the cumulative pool counters: parallel kernel
+// invocations, partition chunks dispatched, and chunks stolen by pool
+// workers.
+func PoolStats() (kernels, chunks, stolen int64) {
+	return statKernels.Load(), statChunks.Load(), statStolen.Load()
+}
+
+// chunkGrain returns a partition grain for n items that yields at most
+// maxChunks chunks. It depends only on the problem size, keeping partition
+// boundaries (and hence reduction order) fixed across worker counts.
+func chunkGrain(n, maxChunks int) int {
+	g := (n + maxChunks - 1) / maxChunks
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// parRange runs fn over the half-open range [0, n) split into fixed chunks
+// of the given grain. With parallelism 1 (or a single chunk) it degenerates
+// to fn(0, n) — the exact sequential loop. Otherwise up to Parallelism()
+// goroutines (the caller plus pool workers) pull chunks from a shared
+// counter; fn must write only cells owned by its chunk. Panics inside fn
+// are re-raised on the calling goroutine after all workers settle, so the
+// interpreter's panic recovery keeps working for parallel kernels.
+func parRange(n, grain int, fn func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	d := Parallelism()
+	if d <= 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	helpers := d - 1
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+	ensurePool()
+
+	var next, stolen atomic.Int64
+	var panicMu sync.Mutex
+	var panicVal any
+	run := func(helper bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicVal == nil {
+					panicVal = r
+				}
+				panicMu.Unlock()
+				next.Store(int64(chunks)) // abandon remaining chunks
+			}
+		}()
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+			if helper {
+				stolen.Add(1)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < helpers; i++ {
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			run(true)
+		}
+		select {
+		case poolCh <- task:
+		default:
+			// Pool saturated (e.g. nested parallelism): the caller picks
+			// up the chunks itself instead of blocking on a worker.
+			wg.Done()
+		}
+	}
+	run(false)
+	wg.Wait()
+
+	statKernels.Add(1)
+	statChunks.Add(int64(chunks))
+	statStolen.Add(stolen.Load())
+	if m := poolMetrics.Load(); m != nil {
+		m.Add("matrix.pool.kernels", 1)
+		m.Add("matrix.pool.chunks", int64(chunks))
+		m.Add("matrix.pool.stolen", stolen.Load())
+	}
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

@@ -7,7 +7,7 @@ import "math/rand"
 // seed for reproducible workloads (DML's rand builtin).
 func Random(rows, cols int, sparsity, min, max float64, seed int64) *Matrix {
 	rng := rand.New(rand.NewSource(seed))
-	if sparsity >= SparsityThreshold || cols == 1 {
+	if !PreferSparse(int64(rows), int64(cols), sparsity) {
 		out := NewDense(rows, cols)
 		for i := range out.dense {
 			if sparsity >= 1 || rng.Float64() < sparsity {

@@ -1,0 +1,75 @@
+package opt
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/scripts"
+)
+
+// TestParallelNearZeroDeadline: when the time budget expires while tasks
+// are queued, the parallel optimizer must still return a usable (finite)
+// configuration, must not drop worker effort stats, and must not leak
+// worker goroutines (the queue is drained, never abandoned).
+func TestParallelNearZeroDeadline(t *testing.T) {
+	cc := conf.DefaultCluster()
+	hp := compileHP(t, scripts.GLM(), 1_000_000, 1000, 1.0)
+	before := runtime.NumGoroutine()
+
+	o := New(cc)
+	o.Opts.Workers = 4
+	o.Opts.TimeBudget = time.Nanosecond
+	res := o.Optimize(hp)
+	if res == nil {
+		t.Fatal("near-zero budget must still yield a configuration")
+	}
+	if math.IsInf(res.Cost, 1) || math.IsNaN(res.Cost) {
+		t.Errorf("deadline skips leaked an infinite cost into the result: %v", res.Cost)
+	}
+	if res.Res.CP <= 0 {
+		t.Errorf("result resource vector is empty: %v", res.Res)
+	}
+	if res.Stats.Costings == 0 || res.Stats.BlockCompilations == 0 {
+		t.Errorf("effort stats dropped under deadline: costings=%d compilations=%d",
+			res.Stats.Costings, res.Stats.BlockCompilations)
+	}
+
+	// Workers must have exited; allow the scheduler a moment to settle.
+	settle := time.Now().Add(2 * time.Second)
+	for time.Now().Before(settle) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d before optimize, %d after", before, runtime.NumGoroutine())
+}
+
+// TestParallelDeadlineMatchesBaselineQuality: an expired budget must never
+// produce a configuration worse than what the serial optimizer finds under
+// the same expired budget (both fall back to baseline per-block entries).
+func TestParallelDeadlineMatchesBaselineQuality(t *testing.T) {
+	cc := conf.DefaultCluster()
+	hp := compileHP(t, scripts.LinregCG(), 1_000_000, 1000, 1.0)
+
+	serial := New(cc)
+	serial.Opts.TimeBudget = time.Nanosecond
+	a := serial.Optimize(hp)
+
+	par := New(cc)
+	par.Opts.Workers = 4
+	par.Opts.TimeBudget = time.Nanosecond
+	b := par.Optimize(hp)
+
+	if a == nil || b == nil {
+		t.Fatal("both optimizers must return a configuration")
+	}
+	// Both should land on a finite-cost plan; the parallel one must not be
+	// degraded by dropped or misattributed task results.
+	if math.IsInf(b.Cost, 1) {
+		t.Errorf("parallel deadline cost is infinite, serial is %v", a.Cost)
+	}
+}

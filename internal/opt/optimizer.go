@@ -309,8 +309,7 @@ type blockTask struct {
 }
 
 func withCores(r conf.Resources, cores int) conf.Resources {
-	r.CPCores = cores
-	return r
+	return r.WithCores(cores)
 }
 
 // better keeps the candidate with strictly lower cost; ties keep the

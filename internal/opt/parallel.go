@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"math"
 	"sync"
 	"time"
 
@@ -35,12 +36,25 @@ func (o *Optimizer) optimizeParallel(hp *hop.Program, src, srm []conf.Bytes, cur
 			defer wgWorkers.Done()
 			est := o.newEstimator()
 			local := Stats{}
+			// Flush effort counters via defer so work done before the
+			// deadline fired is never dropped from the reported stats.
+			defer func() {
+				workerComps[w] = local.BlockCompilations
+				workerCosts[w] = est.Invocations
+			}()
 			for tk := range tasksCh {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					// Budget exhausted mid-point: skip the enumeration
+					// (the master keeps the block's baseline memo entry)
+					// but keep draining the queue so every pendingCP's
+					// WaitGroup resolves and no goroutine leaks.
+					*tk.out = memoEntry{cost: math.Inf(1)}
+					tk.wg.Done()
+					continue
+				}
 				*tk.out = o.enumBlock(tk.bt, srm, est, &local)
 				tk.wg.Done()
 			}
-			workerComps[w] = local.BlockCompilations
-			workerCosts[w] = est.Invocations
 		}(w)
 	}
 

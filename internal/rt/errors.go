@@ -1,0 +1,20 @@
+package rt
+
+import "fmt"
+
+// KernelError is a typed runtime failure produced when a matrix kernel
+// rejects its operands — e.g. a dimension mismatch from a plan whose
+// compile-time dimensions diverged from the runtime values. The interpreter
+// recovers kernel panics into this error at the evaluation boundary, so a
+// bad plan fails the run with a non-zero exit and an operator-scoped
+// message instead of crashing mid-simulation with a raw panic trace.
+type KernelError struct {
+	// Op is the hop kind that was executing.
+	Op string
+	// Detail is the kernel's panic message.
+	Detail string
+}
+
+func (e *KernelError) Error() string {
+	return fmt.Sprintf("rt: %s kernel failed: %s", e.Op, e.Detail)
+}

@@ -18,14 +18,23 @@ func newEnv(ip *Interp) *env {
 	return &env{ip: ip, cache: map[int64]*Value{}}
 }
 
-func (e *env) eval(h *hop.Hop) (*Value, error) {
+func (e *env) eval(h *hop.Hop) (v *Value, err error) {
 	if h == nil {
 		return nil, nil
 	}
-	if v, ok := e.cache[h.ID]; ok {
-		return v, nil
+	if cached, ok := e.cache[h.ID]; ok {
+		return cached, nil
 	}
-	v, err := e.compute(h)
+	// Matrix kernels panic on operand mismatches (bad plans whose
+	// compile-time dimensions diverged from runtime values); recover them
+	// into typed runtime errors so execution fails cleanly.
+	defer func() {
+		if r := recover(); r != nil {
+			v = nil
+			err = &KernelError{Op: fmt.Sprintf("%v", h.Kind), Detail: fmt.Sprint(r)}
+		}
+	}()
+	v, err = e.compute(h)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", h.Kind, err)
 	}

@@ -12,6 +12,7 @@ import (
 	"elasticml/internal/hdfs"
 	"elasticml/internal/hop"
 	"elasticml/internal/lop"
+	"elasticml/internal/matrix"
 	"elasticml/internal/mr"
 	"elasticml/internal/obs"
 )
@@ -491,6 +492,11 @@ func (ip *Interp) runInstrs(b *lop.Block) error {
 	if b.HopBlock == nil {
 		return nil
 	}
+	// Value-mode kernels execute on the shared matrix worker pool with the
+	// block's CP degree of parallelism (1 inside parfor bodies, matching
+	// the cost model's single-threaded-worker contract). Kernel results
+	// are byte-identical for any setting; only wall-clock time changes.
+	matrix.SetParallelism(ip.cpCores())
 	// Evaluate roots first: transient writes bind variables, persistent
 	// writes hit the DFS, prints stream to Out, stop aborts.
 	env := newEnv(ip)

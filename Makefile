@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-kernels check bench
+.PHONY: build test vet race race-kernels check bench verify-corpus cover
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,16 @@ race-kernels:
 	$(GO) test -race -count=2 ./internal/matrix ./internal/rt
 
 check: vet race race-kernels
+
+# Differential plan verification: the paper corpus plus a fixed-seed fuzz
+# stream, each program run under every resource configuration and against
+# the naive reference interpreter, with the memory-estimate auditor on.
+verify-corpus:
+	$(GO) run ./cmd/elastic-verify -corpus -fuzz 25 -seed 1 -v
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 bench:
 	$(GO) run ./cmd/elastic-bench -quick -exp all

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The smoke tests exercise the built binary end to end: flag parsing, exit
+// codes, and the -json summary shape that scripts and CI depend on.
+
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "elastic-run-test")
+	if err != nil {
+		os.Exit(1)
+	}
+	binPath = filepath.Join(dir, "elastic-run")
+	build := exec.Command("go", "build", "-o", binPath, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// run executes the binary and returns stdout, stderr and the exit code.
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(binPath, args...)
+	var out, errOut strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &errOut
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	return out.String(), errOut.String(), code
+}
+
+func TestJSONSummaryShape(t *testing.T) {
+	out, errOut, code := run(t, "-program", "LinregDS", "-size", "XS", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	var sum struct {
+		Program    string  `json:"program"`
+		Scenario   string  `json:"scenario"`
+		SimSeconds float64 `json:"sim_seconds"`
+		Execution  struct {
+			Instructions int `json:"instructions"`
+		} `json:"execution"`
+	}
+	if err := json.Unmarshal([]byte(out), &sum); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, out)
+	}
+	if sum.Program != "LinregDS" {
+		t.Errorf("program = %q", sum.Program)
+	}
+	if !strings.Contains(sum.Scenario, "XS") {
+		t.Errorf("scenario = %q, want an XS scenario", sum.Scenario)
+	}
+	if sum.SimSeconds <= 0 {
+		t.Errorf("sim_seconds = %v, want > 0", sum.SimSeconds)
+	}
+	if sum.Execution.Instructions <= 0 {
+		t.Errorf("instructions = %d, want > 0", sum.Execution.Instructions)
+	}
+}
+
+func TestBadFlagsExitCode(t *testing.T) {
+	cases := [][]string{
+		{"-program", "Bogus"},
+		{"-program", "LinregDS", "-size", "XXL"},
+		{"-program", "LinregDS", "-size", "XS", "-node-fail", "garbage"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		if _, errOut, code := run(t, args...); code != 2 {
+			t.Errorf("%v: exit %d, want 2 (stderr: %s)", args, code, errOut)
+		}
+	}
+}
+
+func TestExplainPrintsPlan(t *testing.T) {
+	out, errOut, code := run(t, "-program", "LinregDS", "-size", "XS", "-explain")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "PROGRAM (resources") {
+		t.Errorf("-explain output missing plan header:\n%s", out)
+	}
+}
+
+func TestJSONSummaryDeterministic(t *testing.T) {
+	decode := func() map[string]interface{} {
+		out, errOut, code := run(t, "-program", "LinregCG", "-size", "XS", "-json")
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errOut)
+		}
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(out), &m); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+		delete(m, "opt_wall_seconds") // the only wall-clock field
+		return m
+	}
+	if a, b := decode(), decode(); !reflect.DeepEqual(a, b) {
+		t.Errorf("summaries differ across identical runs:\n%v\nvs\n%v", a, b)
+	}
+}

@@ -251,3 +251,33 @@ func TestVarStateClone(t *testing.T) {
 		t.Error("clone mutation leaked into original")
 	}
 }
+
+func TestVarStatePeakAndMaxVar(t *testing.T) {
+	s := NewVarState(1000)
+	s.PutInMemory("$A", 600)
+	s.PutInMemory("$B", 600) // evicts A; steady-state residency 600
+	if s.Peak != 600 {
+		t.Errorf("peak = %v, want 600 (post-eviction steady state)", s.Peak)
+	}
+	if s.MaxVar != 600 {
+		t.Errorf("max var = %v, want 600", s.MaxVar)
+	}
+	// An oversized variable pins: the peak may exceed the budget, but only
+	// up to the largest single admitted variable (the capacity invariant
+	// the verification harness checks).
+	s.PutInMemory("$big", 2500)
+	if s.Peak != 2500 {
+		t.Errorf("peak = %v, want 2500 (pinned oversize variable)", s.Peak)
+	}
+	if s.MaxVar != 2500 {
+		t.Errorf("max var = %v, want 2500", s.MaxVar)
+	}
+	max := s.MaxVar
+	if budget := conf.Bytes(1000); s.Peak > budget && s.Peak > max {
+		t.Errorf("capacity invariant violated: peak %v > max(budget %v, maxvar %v)", s.Peak, budget, max)
+	}
+	c := s.Clone()
+	if c.Peak != s.Peak || c.MaxVar != s.MaxVar {
+		t.Errorf("clone lost high-water marks: peak %v/%v maxvar %v/%v", c.Peak, s.Peak, c.MaxVar, s.MaxVar)
+	}
+}

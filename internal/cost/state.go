@@ -41,6 +41,15 @@ type VarState struct {
 	// evicted variables). Both feed the observability counters.
 	Evictions int
 	Restores  int
+
+	// Peak is the high-water mark of in-memory resident bytes, recorded
+	// after every admission (post-eviction steady state). The estimate
+	// auditor compares it against the configured budget.
+	Peak conf.Bytes
+	// MaxVar is the largest single admitted variable size — the pinning
+	// bound: a variable bigger than the whole budget stays resident, so
+	// Peak <= max(budget, MaxVar) is the pool's capacity invariant.
+	MaxVar conf.Bytes
 }
 
 // NewVarState returns a state tracker; budget <= 0 disables eviction
@@ -54,7 +63,7 @@ func NewVarState(budget conf.Bytes) *VarState {
 func (s *VarState) Clone() *VarState {
 	c := &VarState{vars: make(map[string]*varInfo, len(s.vars)),
 		budget: s.budget, inMem: s.inMem, clock: s.clock, evictIO: s.evictIO,
-		Evictions: s.Evictions, Restores: s.Restores}
+		Evictions: s.Evictions, Restores: s.Restores, Peak: s.Peak, MaxVar: s.MaxVar}
 	for k, v := range s.vars {
 		cp := *v
 		c.vars[k] = &cp
@@ -174,6 +183,14 @@ func (s *VarState) InMemory(key string) bool {
 // IO in evictIO (dirty pages are written; clean pages only drop).
 func (s *VarState) admit(v *varInfo) {
 	s.inMem += v.size
+	if v.size > s.MaxVar {
+		s.MaxVar = v.size
+	}
+	defer func() {
+		if s.inMem > s.Peak {
+			s.Peak = s.inMem
+		}
+	}()
 	if s.budget <= 0 {
 		return
 	}

@@ -111,8 +111,13 @@ func inferSizes(h *Hop) {
 		}
 		h.Rows, h.Cols = aRows, b.Cols
 		if h.Rows != Unknown && h.Cols != Unknown && aCols != Unknown {
-			sp := matrix.MulSparsity(a.Sparsity(), b.Sparsity(), aCols)
-			h.NNZ = int64(math.Ceil(sp * float64(h.Rows) * float64(h.Cols)))
+			// Worst case, like every other rule here: expected output
+			// sparsity (matrix.MulSparsity's independence model) is only
+			// computed on runtime metadata, never propagated through
+			// compile-time estimates — an expected nnz below the actual one
+			// would poison the memory bound of every downstream consumer
+			// (twrite/write/binary) that sizes its output from this value.
+			h.NNZ = matMulWorstNNZ(h, h.Rows*h.Cols)
 		}
 	case KindReorg:
 		x := in(h, 0)
@@ -240,22 +245,38 @@ func binaryNNZ(h *Hop, a, b *Hop) int64 {
 		return Unknown
 	}
 	cells := h.Rows * h.Cols
-	switch h.Op {
-	case "*", "&":
-		// Zero-preserving in both operands.
-		n := minDim(a.NNZ, b.NNZ)
-		if n == Unknown {
+	// effNNZ views one operand at the output shape, worst case: scalars act
+	// fully dense (the op may map zeros to non-zeros everywhere), and
+	// broadcast vectors replicate every stored non-zero across the
+	// broadcast dimension. Without the replication term a column vector
+	// added to a matrix was estimated at nnz(v)+nnz(M) — unsound as soon as
+	// the vector row fans out.
+	effNNZ := func(x *Hop) int64 {
+		if x.IsScalar() || x.NNZ == Unknown || x.Rows == Unknown || x.Cols == Unknown {
 			return cells
+		}
+		n := x.NNZ
+		if x.Rows == 1 && h.Rows > 1 {
+			n = satMul(n, h.Rows, cells)
+		}
+		if x.Cols == 1 && h.Cols > 1 {
+			n = satMul(n, h.Cols, cells)
 		}
 		if n > cells {
 			n = cells
 		}
 		return n
-	case "+", "-":
-		if a.NNZ == Unknown || b.NNZ == Unknown {
-			return cells
+	}
+	switch h.Op {
+	case "*", "&":
+		// Zero-preserving in both operands.
+		n := effNNZ(a)
+		if nb := effNNZ(b); nb < n {
+			n = nb
 		}
-		n := a.NNZ + b.NNZ
+		return n
+	case "+", "-":
+		n := effNNZ(a) + effNNZ(b)
 		if n > cells {
 			n = cells
 		}
@@ -263,6 +284,15 @@ func binaryNNZ(h *Hop, a, b *Hop) int64 {
 	default:
 		return cells
 	}
+}
+
+// satMul multiplies n by f, saturating at cap (worst-case nnz arithmetic
+// must not wrap on propagated 1e9-scale dimensions).
+func satMul(n, f, cap int64) int64 {
+	if f > 0 && n > cap/f {
+		return cap
+	}
+	return n * f
 }
 
 // inferScalar propagates known scalar constants bottom-up: literals are
@@ -446,6 +476,24 @@ func estimateMem(h *Hop) {
 		mem += h.OutMem // hash-side construction buffer
 	}
 	h.OpMem = mem
+}
+
+// matMulWorstNNZ bounds the output nnz of a matrix multiply without the
+// no-cancellation independence assumption. Transposed-A inputs need no
+// special case: nnz is invariant under transposition.
+func matMulWorstNNZ(h *Hop, cells int64) int64 {
+	worst := cells
+	if a := in(h, 0); a != nil && a.NNZ != Unknown {
+		if w := satMul(a.NNZ, h.Cols, cells); w < worst {
+			worst = w
+		}
+	}
+	if b := in(h, 1); b != nil && b.NNZ != Unknown {
+		if w := satMul(b.NNZ, h.Rows, cells); w < worst {
+			worst = w
+		}
+	}
+	return worst
 }
 
 // UpdateFromRuntime overwrites a hop's dimensions with sizes observed at

@@ -1,0 +1,136 @@
+package hop
+
+import (
+	"testing"
+
+	"elasticml/internal/dml"
+	"elasticml/internal/hdfs"
+	"elasticml/internal/matrix"
+)
+
+// Regression tests for an estimate-soundness bug found by the differential
+// harness (cmd/elastic-verify): the matmul size rule used the expected
+// sparsity of the independence model — the only non-worst-case rule in
+// inferSizes — so sparse products whose actual nnz landed above the
+// expectation blew past the OutMem budgets of every downstream consumer
+// (twrite, write, binary), both at compile time and through dynamic
+// recompilation after a node failure.
+
+func compileSrc(t *testing.T, fs *hdfs.FS, src string, params map[string]interface{}) *Program {
+	t.Helper()
+	prog, err := dml.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	hp, err := NewCompiler(fs, params).Compile(prog, src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return hp
+}
+
+func findMatMul(hp *Program) *Hop {
+	var mm *Hop
+	WalkBlocks(hp.Blocks, func(b *Block) {
+		WalkDAG(b.Roots, func(h *Hop) {
+			if h.Kind == KindMatMul {
+				mm = h
+			}
+		})
+	})
+	return mm
+}
+
+func TestMatMulNNZIsWorstCase(t *testing.T) {
+	// X: 100x50 with 10 nnz; Y: 50x40 with 200 nnz. The worst-case output
+	// nnz is min(cells, nnz(X)*cols(Y), nnz(Y)*rows(X)) = min(4000, 400,
+	// 20000) = 400. The expected independence model would predict ~40 —
+	// a bound real data (e.g. aligned sparsity patterns) easily exceeds.
+	fs := hdfs.New()
+	fs.PutDescriptor("/data/X", 100, 50, 10, hdfs.BinaryBlock)
+	fs.PutDescriptor("/data/Y", 50, 40, 200, hdfs.BinaryBlock)
+	src := `
+X = read($X);
+Y = read($Y);
+Z = X %*% Y;
+write(Z, "/out/Z");
+`
+	hp := compileSrc(t, fs, src, map[string]interface{}{"X": "/data/X", "Y": "/data/Y"})
+	mm := findMatMul(hp)
+	if mm == nil {
+		t.Fatal("no matmul hop in plan")
+	}
+	if mm.Rows != 100 || mm.Cols != 40 {
+		t.Fatalf("matmul dims %dx%d, want 100x40", mm.Rows, mm.Cols)
+	}
+	if mm.NNZ != 400 {
+		t.Errorf("matmul nnz estimate %d, want worst case 400", mm.NNZ)
+	}
+	want := matrix.EstimateSize(100, 40, float64(mm.NNZ)/4000)
+	if mm.OutMem != want {
+		t.Errorf("matmul OutMem %d, want %d (sized from worst-case nnz)", mm.OutMem, want)
+	}
+}
+
+func TestMatMulDenseNNZUnchanged(t *testing.T) {
+	// Dense inputs: worst case degenerates to cells, matching the old
+	// expectation — dense plans must not get more conservative.
+	fs := hdfs.New()
+	fs.PutDescriptor("/data/X", 100, 50, 5000, hdfs.BinaryBlock)
+	fs.PutDescriptor("/data/Y", 50, 40, 2000, hdfs.BinaryBlock)
+	src := `
+X = read($X);
+Y = read($Y);
+Z = X %*% Y;
+write(Z, "/out/Z");
+`
+	hp := compileSrc(t, fs, src, map[string]interface{}{"X": "/data/X", "Y": "/data/Y"})
+	mm := findMatMul(hp)
+	if mm == nil {
+		t.Fatal("no matmul hop in plan")
+	}
+	if mm.NNZ != 4000 {
+		t.Errorf("dense matmul nnz estimate %d, want 4000 (all cells)", mm.NNZ)
+	}
+}
+
+func TestMatMulWorstCaseFlowsDownstream(t *testing.T) {
+	// The shape that surfaced the bug: diag(rowSums(X)) %*% X over a sparse
+	// X. The diagonal scaling preserves X's sparsity pattern exactly, so
+	// the product's actual nnz equals nnz(X) — above the independence
+	// model's expectation. The write of the product must budget for the
+	// worst case min(216, 27*8, 40*27) = 216 (dense).
+	fs := hdfs.New()
+	fs.PutDescriptor("/data/X", 27, 8, 40, hdfs.BinaryBlock)
+	src := `
+X = read($X);
+D = diag(rowSums(X));
+Z = D %*% X;
+write(Z, "/out/Z");
+`
+	hp := compileSrc(t, fs, src, map[string]interface{}{"X": "/data/X"})
+	mm := findMatMul(hp)
+	if mm == nil {
+		t.Fatal("no matmul hop in plan")
+	}
+	if mm.NNZ != 216 {
+		t.Errorf("matmul nnz estimate %d, want 216 (dense worst case)", mm.NNZ)
+	}
+	var wrote bool
+	WalkBlocks(hp.Blocks, func(b *Block) {
+		WalkDAG(b.Roots, func(h *Hop) {
+			if h.Kind == KindWrite {
+				wrote = true
+				if h.NNZ != mm.NNZ {
+					t.Errorf("write nnz %d, want matmul worst case %d", h.NNZ, mm.NNZ)
+				}
+				if h.OutMem < mm.OutMem {
+					t.Errorf("write OutMem %d below matmul OutMem %d", h.OutMem, mm.OutMem)
+				}
+			}
+		})
+	})
+	if !wrote {
+		t.Fatal("no write hop in plan")
+	}
+}

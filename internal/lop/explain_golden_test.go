@@ -1,0 +1,75 @@
+package lop
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/scripts"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden explain files")
+
+// TestExplainGolden pins the full EXPLAIN rendering of every paper script
+// under a fixed mixed CP/MR configuration (scenario M dense1000 with a 2GB
+// CP heap: large intermediates spill to MR, small ones stay in CP). Any
+// change to plan selection, piggybacking or memory estimates shows up as a
+// golden diff; refresh intentionally with
+//
+//	go test ./internal/lop -run TestExplainGolden -update
+func TestExplainGolden(t *testing.T) {
+	for _, spec := range scripts.All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			res := conf.NewResources(2*conf.GB, 512*conf.MB, 64)
+			got := Explain(compile(t, spec, 1_000_000, 1000, res))
+			if again := Explain(compile(t, spec, 1_000_000, 1000, res)); again != got {
+				t.Fatal("explain output is not deterministic across compilations")
+			}
+			path := filepath.Join("testdata", "explain", spec.Name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("explain output differs from %s (re-run with -update if intended):\n%s",
+					path, diffLines(string(want), got))
+			}
+		})
+	}
+}
+
+// diffLines renders a minimal line diff for golden mismatches.
+func diffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var sb strings.Builder
+	n := len(w)
+	if len(g) > n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			fmt.Fprintf(&sb, "line %d:\n  want: %s\n  got:  %s\n", i+1, wl, gl)
+		}
+	}
+	return sb.String()
+}

@@ -123,8 +123,8 @@ func TestPiggybackingPacksMapOnlyOps(t *testing.T) {
 	src := `
 X = read($X);
 A = X * 2;
-B = abs(X);
-C = A + B;
+B = abs(A);
+C = B + 0.5;
 s = sum(C);
 print(s);
 `
@@ -151,6 +151,41 @@ print(s);
 	}
 	if total < 4 {
 		t.Errorf("expected >=4 packed ops, got %v", ops)
+	}
+}
+
+func TestBigIntermediateBinaryShuffles(t *testing.T) {
+	// Regression for the matrix-scalar nnz estimate: X * 2 over a dense X
+	// is as large as X itself, so a binary joining two such intermediates
+	// must not pretend one side is broadcastable (the old scalar-operand
+	// nnz rule estimated it at zero non-zeros, an unsound lower bound that
+	// packed an 8GB broadcast into a 2GB task).
+	src := `
+X = read($X);
+A = X * 2;
+B = abs(X);
+C = A + B;
+s = sum(C);
+print(s);
+`
+	fs := hdfs.New()
+	fs.PutDescriptor("/data/X", 1_000_000, 1000, 1_000_000*1000, hdfs.BinaryBlock)
+	prog, err := dml.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := hop.NewCompiler(fs, map[string]interface{}{"X": "/data/X"})
+	hp, err := c.Compile(prog, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Select(hp, conf.DefaultCluster(), conf.NewResources(512*conf.MB, 2*conf.GB, hp.NumLeaf))
+	ops := physOps(p)
+	if ops[PhysShuffleBinary] == 0 {
+		t.Errorf("two 8GB operands must shuffle, not broadcast: %v", ops)
+	}
+	if ops[PhysMapBinary] != 0 {
+		t.Errorf("no binary over 8GB intermediates may broadcast: %v", ops)
 	}
 }
 

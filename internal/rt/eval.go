@@ -38,8 +38,53 @@ func (e *env) eval(h *hop.Hop) (v *Value, err error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", h.Kind, err)
 	}
+	if e.ip.Mode == ModeValue && v != nil && v.Matrix && v.Mat != nil && compactAfter(h.Kind) {
+		// Convert the result to its preferred representation (SystemML's
+		// examSparsity): kernels that always emit dense buffers would
+		// otherwise pin a dense copy where the memory estimator (and the
+		// buffer pool) costs the compact form.
+		if c := v.Mat.Compact(); c != v.Mat {
+			v = MatValue(c)
+		}
+	}
 	e.cache[h.ID] = v
+	if e.ip.MemHook != nil && e.ip.Mode == ModeValue {
+		e.observeMem(h, v)
+	}
 	return v, nil
+}
+
+// compactAfter lists the hop kinds whose value-mode kernels may return a
+// non-preferred representation (dense buffers for sparse results). All
+// other kernels compact internally or cannot shrink (vectors, scalars).
+func compactAfter(k hop.Kind) bool {
+	switch k {
+	case hop.KindMatMul, hop.KindDataGen, hop.KindLeftIndex, hop.KindDiag:
+		return true
+	}
+	return false
+}
+
+// observeMem reports the hop's actual operand footprint to the MemHook:
+// the produced matrix plus each distinct materialized matrix input (the
+// same de-duplication rule the estimator applies to OpMem).
+func (e *env) observeMem(h *hop.Hop, v *Value) {
+	var out *matrix.Matrix
+	if v != nil && v.Matrix {
+		out = v.Mat
+	}
+	var ins []*matrix.Matrix
+	seen := map[int64]bool{}
+	for _, in := range h.Inputs {
+		if in == nil || in.DataType != hop.Matrix || seen[in.ID] {
+			continue
+		}
+		seen[in.ID] = true
+		if iv, ok := e.cache[in.ID]; ok && iv != nil && iv.Matrix && iv.Mat != nil {
+			ins = append(ins, iv.Mat)
+		}
+	}
+	e.ip.MemHook(h, ins, out)
 }
 
 func (e *env) evalInputs(h *hop.Hop) ([]*Value, error) {
@@ -435,7 +480,13 @@ func (e *env) leftIndex(h *hop.Hop) (*Value, error) {
 	if e.ip.Mode == ModeSim || x.Mat == nil {
 		return MetaValue(x.Rows, x.Cols, x.Rows*x.Cols), nil
 	}
-	out := x.Mat.ToDense().Clone()
+	// ToDense already returns a fresh buffer for sparse sources; clone only
+	// when it aliases the (dense) source, so the update never mutates the
+	// bound variable and never allocates a redundant second copy.
+	out := x.Mat.ToDense()
+	if out == x.Mat {
+		out = out.Clone()
+	}
 	for i := r0; i < r1; i++ {
 		for j := c0; j < c1; j++ {
 			var val float64

@@ -142,6 +142,13 @@ type Interp struct {
 	// clock), MR job phase spans, task-attempt fault events, and adaptation
 	// spans. Run installs SimTime as the tracer's clock for its duration.
 	Trace *obs.Tracer
+	// MemHook, when set in value mode, observes every evaluated hop right
+	// after its kernel returns: the hop (carrying the compile-time memory
+	// estimates in effect for this execution), its distinct materialized
+	// matrix inputs, and the produced matrix (nil for scalars). The
+	// estimate-soundness auditor uses it to compare actual footprints
+	// against the worst-case estimates.
+	MemHook func(h *hop.Hop, inputs []*matrix.Matrix, out *matrix.Matrix)
 
 	plan        *lop.Plan
 	resChanged  bool

@@ -1,0 +1,69 @@
+package verify
+
+import (
+	"fmt"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/hop"
+	"elasticml/internal/matrix"
+)
+
+// auditor checks the estimate-soundness invariant: for every value-mode
+// kernel invocation, the actual memory footprint must not exceed the
+// compile-time worst-case estimates the resource optimizer budgets with.
+// It plugs into rt.Interp.MemHook.
+type auditor struct {
+	program  string
+	config   string
+	ops      int
+	findings []Finding
+}
+
+// scalarValueSize is the accounted footprint of a scalar output, matching
+// the buffer pool's accounting for non-matrix values.
+const scalarValueSize = 16
+
+// hook observes one evaluated hop. h carries the estimates that were in
+// effect for this execution (post-recompilation when the block was
+// recompiled), inputs are the distinct materialized matrix operands and
+// out the produced matrix (nil for scalar results).
+func (a *auditor) hook(h *hop.Hop, inputs []*matrix.Matrix, out *matrix.Matrix) {
+	a.ops++
+
+	var actualOut conf.Bytes = scalarValueSize
+	if out != nil {
+		actualOut = out.InMemorySize()
+		if !hop.InfiniteMem(h.OutMem) && actualOut > h.OutMem {
+			a.findings = append(a.findings, Finding{
+				Kind:     EstimateViolation,
+				Program:  a.program,
+				Config:   a.config,
+				Where:    fmt.Sprintf("op %s", h),
+				Detail:   fmt.Sprintf("output size %d B exceeds OutMem estimate %d B", actualOut, h.OutMem),
+				Op:       h.String(),
+				Estimate: h.OutMem,
+				Actual:   actualOut,
+			})
+		}
+	}
+
+	if hop.InfiniteMem(h.OpMem) {
+		return
+	}
+	actualOp := actualOut
+	for _, in := range inputs {
+		actualOp += in.InMemorySize()
+	}
+	if actualOp > h.OpMem {
+		a.findings = append(a.findings, Finding{
+			Kind:     EstimateViolation,
+			Program:  a.program,
+			Config:   a.config,
+			Where:    fmt.Sprintf("op %s", h),
+			Detail:   fmt.Sprintf("operand footprint %d B exceeds OpMem estimate %d B", actualOp, h.OpMem),
+			Op:       h.String(),
+			Estimate: h.OpMem,
+			Actual:   actualOp,
+		})
+	}
+}

@@ -1,0 +1,842 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"elasticml/internal/dml"
+	"elasticml/internal/hdfs"
+	"elasticml/internal/hop"
+)
+
+// The reference interpreter is the harness's independent oracle: it
+// evaluates the compiled HOP program directly — one naive dense
+// representation, textbook sequential loops, no physical operators, no
+// buffer pool, no recompilation — so that any result the production
+// runtime produces can be checked against an implementation that shares
+// none of its machinery beyond the HOP DAG itself.
+
+// rmat is the reference's only matrix representation: dense, row-major.
+type rmat struct {
+	rows, cols int
+	a          []float64
+}
+
+func newRmat(rows, cols int) *rmat {
+	return &rmat{rows: rows, cols: cols, a: make([]float64, rows*cols)}
+}
+
+func (m *rmat) at(i, j int) float64     { return m.a[i*m.cols+j] }
+func (m *rmat) set(i, j int, v float64) { m.a[i*m.cols+j] = v }
+
+// bcAt reads a cell with R-style broadcast: extent-1 dimensions repeat.
+func (m *rmat) bcAt(i, j int) float64 {
+	if m.rows == 1 {
+		i = 0
+	}
+	if m.cols == 1 {
+		j = 0
+	}
+	return m.at(i, j)
+}
+
+// refVal is a reference runtime value.
+type refVal struct {
+	mat    *rmat
+	scalar float64
+	str    string
+	isMat  bool
+	isStr  bool
+}
+
+func refScalar(v float64) *refVal { return &refVal{scalar: v} }
+func refMat(m *rmat) *refVal      { return &refVal{mat: m, isMat: true} }
+
+func (v *refVal) format() string {
+	switch {
+	case v.isStr:
+		return v.str
+	case v.isMat:
+		return fmt.Sprintf("matrix(%dx%d)", v.mat.rows, v.mat.cols)
+	default:
+		return strconv.FormatFloat(v.scalar, 'g', -1, 64)
+	}
+}
+
+// RefResult captures the reference execution's observable outputs.
+type RefResult struct {
+	// Writes maps persistent-write paths to the written matrices.
+	Writes map[string]*rmat
+	// Prints is the print() stream in order.
+	Prints []string
+}
+
+// refInterp executes a HOP program.
+type refInterp struct {
+	fs   *hdfs.FS
+	vars map[string]*refVal
+	out  *RefResult
+}
+
+// refLoopCap bounds data-dependent loops: a divergence between the
+// reference and the production runtime must surface as a comparison
+// failure, not a hang.
+const refLoopCap = 100000
+
+// RunReference evaluates the compiled program on the file system's real
+// payloads and returns the written matrices and print stream.
+func RunReference(hp *hop.Program, fs *hdfs.FS) (*RefResult, error) {
+	ri := &refInterp{
+		fs:   fs,
+		vars: map[string]*refVal{},
+		out:  &RefResult{Writes: map[string]*rmat{}},
+	}
+	if err := ri.execBlocks(hp.Blocks); err != nil {
+		return nil, err
+	}
+	return ri.out, nil
+}
+
+func (ri *refInterp) execBlocks(blocks []*hop.Block) error {
+	for _, b := range blocks {
+		if err := ri.execBlock(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ri *refInterp) execBlock(b *hop.Block) error {
+	switch b.Kind {
+	case dml.GenericBlock:
+		cache := map[int64]*refVal{}
+		for _, root := range b.Roots {
+			if _, err := ri.eval(root, cache); err != nil {
+				return err
+			}
+		}
+		return nil
+	case dml.IfBlockKind:
+		p, err := ri.evalPred(b.Pred)
+		if err != nil {
+			return err
+		}
+		if p != 0 {
+			return ri.execBlocks(b.Then)
+		}
+		return ri.execBlocks(b.Else)
+	case dml.WhileBlockKind:
+		for iter := 0; ; iter++ {
+			if iter >= refLoopCap {
+				return fmt.Errorf("ref: while loop exceeded %d iterations", refLoopCap)
+			}
+			p, err := ri.evalPred(b.Pred)
+			if err != nil {
+				return err
+			}
+			if p == 0 {
+				return nil
+			}
+			if err := ri.execBlocks(b.Body); err != nil {
+				return err
+			}
+		}
+	case dml.ForBlockKind:
+		from, err := ri.evalPred(b.From)
+		if err != nil {
+			return err
+		}
+		to, err := ri.evalPred(b.To)
+		if err != nil {
+			return err
+		}
+		for i := int64(from); i <= int64(to); i++ {
+			ri.vars[b.Var] = refScalar(float64(i))
+			if err := ri.execBlocks(b.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("ref: unknown block kind %v", b.Kind)
+}
+
+func (ri *refInterp) evalPred(pred *hop.Hop) (float64, error) {
+	if pred == nil {
+		return 1, nil
+	}
+	v, err := ri.eval(pred, map[int64]*refVal{})
+	if err != nil {
+		return 0, err
+	}
+	if v.isMat || v.isStr {
+		return 0, fmt.Errorf("ref: non-scalar predicate")
+	}
+	return v.scalar, nil
+}
+
+func (ri *refInterp) eval(h *hop.Hop, cache map[int64]*refVal) (*refVal, error) {
+	if h == nil {
+		return nil, nil
+	}
+	if v, ok := cache[h.ID]; ok {
+		return v, nil
+	}
+	v, err := ri.compute(h, cache)
+	if err != nil {
+		return nil, err
+	}
+	cache[h.ID] = v
+	return v, nil
+}
+
+func (ri *refInterp) inputs(h *hop.Hop, cache map[int64]*refVal) ([]*refVal, error) {
+	vals := make([]*refVal, len(h.Inputs))
+	for i, in := range h.Inputs {
+		v, err := ri.eval(in, cache)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+func (ri *refInterp) compute(h *hop.Hop, cache map[int64]*refVal) (*refVal, error) {
+	switch h.Kind {
+	case hop.KindLit:
+		if h.DataType == hop.String {
+			return &refVal{str: h.StrValue, isStr: true}, nil
+		}
+		return refScalar(h.Value), nil
+
+	case hop.KindTRead:
+		v, ok := ri.vars[h.Name]
+		if !ok {
+			return nil, fmt.Errorf("ref: undefined variable %q", h.Name)
+		}
+		return v, nil
+
+	case hop.KindRead:
+		f, err := ri.fs.Read(h.Name)
+		if err != nil {
+			return nil, err
+		}
+		if f.Data == nil {
+			return nil, fmt.Errorf("ref: no payload for %q", h.Name)
+		}
+		m := newRmat(f.Data.Rows(), f.Data.Cols())
+		for i := 0; i < m.rows; i++ {
+			for j := 0; j < m.cols; j++ {
+				m.set(i, j, f.Data.At(i, j))
+			}
+		}
+		return refMat(m), nil
+
+	case hop.KindTWrite:
+		v, err := ri.eval(h.Inputs[0], cache)
+		if err != nil {
+			return nil, err
+		}
+		ri.vars[h.Name] = v
+		return v, nil
+
+	case hop.KindWrite:
+		v, err := ri.eval(h.Inputs[0], cache)
+		if err != nil {
+			return nil, err
+		}
+		if v.isMat {
+			ri.out.Writes[h.Name] = v.mat
+		}
+		return v, nil
+
+	case hop.KindPrint:
+		v, err := ri.eval(h.Inputs[0], cache)
+		if err != nil {
+			return nil, err
+		}
+		ri.out.Prints = append(ri.out.Prints, v.format())
+		return v, nil
+
+	case hop.KindStop:
+		v, err := ri.eval(h.Inputs[0], cache)
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("stop: %s", v.format())
+
+	case hop.KindDataGen:
+		vals, err := ri.inputs(h, cache)
+		if err != nil {
+			return nil, err
+		}
+		rows, cols := int(vals[1].scalar), int(vals[2].scalar)
+		m := newRmat(rows, cols)
+		for i := range m.a {
+			m.a[i] = vals[0].scalar
+		}
+		return refMat(m), nil
+
+	case hop.KindSeq:
+		vals, err := ri.inputs(h, cache)
+		if err != nil {
+			return nil, err
+		}
+		from, to, incr := vals[0].scalar, vals[1].scalar, vals[2].scalar
+		if incr == 0 {
+			return nil, fmt.Errorf("ref: seq increment zero")
+		}
+		n := int((to-from)/incr) + 1
+		if n < 0 {
+			n = 0
+		}
+		m := newRmat(n, 1)
+		v := from
+		for i := 0; i < n; i++ {
+			m.a[i] = v
+			v += incr
+		}
+		return refMat(m), nil
+
+	case hop.KindUnary:
+		vals, err := ri.inputs(h, cache)
+		if err != nil {
+			return nil, err
+		}
+		x := vals[0]
+		if !x.isMat {
+			return refScalar(refUnary(h.Op, x.scalar)), nil
+		}
+		m := newRmat(x.mat.rows, x.mat.cols)
+		for i, v := range x.mat.a {
+			m.a[i] = refUnary(h.Op, v)
+		}
+		return refMat(m), nil
+
+	case hop.KindBinary:
+		return ri.binary(h, cache)
+
+	case hop.KindAggUnary:
+		return ri.agg(h, cache)
+
+	case hop.KindMatMul:
+		vals, err := ri.inputs(h, cache)
+		if err != nil {
+			return nil, err
+		}
+		a, b := vals[0].mat, vals[1].mat
+		if h.TransA {
+			a = refTranspose(a)
+		}
+		if a.cols != b.rows {
+			return nil, fmt.Errorf("ref: matmul %dx%d %%*%% %dx%d", a.rows, a.cols, b.rows, b.cols)
+		}
+		m := newRmat(a.rows, b.cols)
+		for i := 0; i < a.rows; i++ {
+			for j := 0; j < b.cols; j++ {
+				var s float64
+				for k := 0; k < a.cols; k++ {
+					s += a.at(i, k) * b.at(k, j)
+				}
+				m.set(i, j, s)
+			}
+		}
+		return refMat(m), nil
+
+	case hop.KindReorg:
+		vals, err := ri.inputs(h, cache)
+		if err != nil {
+			return nil, err
+		}
+		return refMat(refTranspose(vals[0].mat)), nil
+
+	case hop.KindAppend:
+		vals, err := ri.inputs(h, cache)
+		if err != nil {
+			return nil, err
+		}
+		a, b := vals[0].mat, vals[1].mat
+		if h.Op == "rbind" {
+			if a.cols != b.cols {
+				return nil, fmt.Errorf("ref: rbind col mismatch %d vs %d", a.cols, b.cols)
+			}
+			m := newRmat(a.rows+b.rows, a.cols)
+			copy(m.a, a.a)
+			copy(m.a[len(a.a):], b.a)
+			return refMat(m), nil
+		}
+		if a.rows != b.rows {
+			return nil, fmt.Errorf("ref: cbind row mismatch %d vs %d", a.rows, b.rows)
+		}
+		m := newRmat(a.rows, a.cols+b.cols)
+		for i := 0; i < a.rows; i++ {
+			copy(m.a[i*m.cols:], a.a[i*a.cols:(i+1)*a.cols])
+			copy(m.a[i*m.cols+a.cols:], b.a[i*b.cols:(i+1)*b.cols])
+		}
+		return refMat(m), nil
+
+	case hop.KindIndex:
+		x, err := ri.eval(h.Inputs[0], cache)
+		if err != nil {
+			return nil, err
+		}
+		r0, r1, c0, c1, err := ri.bounds(h, 1, x.mat, cache)
+		if err != nil {
+			return nil, err
+		}
+		m := newRmat(r1-r0, c1-c0)
+		for i := r0; i < r1; i++ {
+			for j := c0; j < c1; j++ {
+				m.set(i-r0, j-c0, x.mat.at(i, j))
+			}
+		}
+		return refMat(m), nil
+
+	case hop.KindLeftIndex:
+		x, err := ri.eval(h.Inputs[0], cache)
+		if err != nil {
+			return nil, err
+		}
+		v, err := ri.eval(h.Inputs[1], cache)
+		if err != nil {
+			return nil, err
+		}
+		r0, r1, c0, c1, err := ri.bounds(h, 2, x.mat, cache)
+		if err != nil {
+			return nil, err
+		}
+		m := newRmat(x.mat.rows, x.mat.cols)
+		copy(m.a, x.mat.a)
+		for i := r0; i < r1; i++ {
+			for j := c0; j < c1; j++ {
+				if v.isMat {
+					m.set(i, j, v.mat.at(i-r0, j-c0))
+				} else {
+					m.set(i, j, v.scalar)
+				}
+			}
+		}
+		return refMat(m), nil
+
+	case hop.KindTable:
+		vals, err := ri.inputs(h, cache)
+		if err != nil {
+			return nil, err
+		}
+		a, b := vals[0].mat, vals[1].mat
+		if a.cols != 1 || b.cols != 1 || a.rows != b.rows {
+			return nil, fmt.Errorf("ref: table wants equal column vectors")
+		}
+		var maxR, maxC int
+		for i := 0; i < a.rows; i++ {
+			r, c := int(a.at(i, 0)), int(b.at(i, 0))
+			if r < 1 || c < 1 {
+				return nil, fmt.Errorf("ref: table category < 1 at row %d", i)
+			}
+			if r > maxR {
+				maxR = r
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		m := newRmat(maxR, maxC)
+		for i := 0; i < a.rows; i++ {
+			m.a[(int(a.at(i, 0))-1)*maxC+int(b.at(i, 0))-1]++
+		}
+		return refMat(m), nil
+
+	case hop.KindDiag:
+		vals, err := ri.inputs(h, cache)
+		if err != nil {
+			return nil, err
+		}
+		x := vals[0].mat
+		if x.cols == 1 {
+			m := newRmat(x.rows, x.rows)
+			for i := 0; i < x.rows; i++ {
+				m.set(i, i, x.at(i, 0))
+			}
+			return refMat(m), nil
+		}
+		n := x.rows
+		if x.cols < n {
+			n = x.cols
+		}
+		m := newRmat(n, 1)
+		for i := 0; i < n; i++ {
+			m.a[i] = x.at(i, i)
+		}
+		return refMat(m), nil
+
+	case hop.KindSolve:
+		vals, err := ri.inputs(h, cache)
+		if err != nil {
+			return nil, err
+		}
+		return refSolve(vals[0].mat, vals[1].mat)
+
+	case hop.KindTernaryAgg:
+		vals, err := ri.inputs(h, cache)
+		if err != nil {
+			return nil, err
+		}
+		first := vals[0].mat
+		var s float64
+		for i := 0; i < first.rows; i++ {
+			for j := 0; j < first.cols; j++ {
+				p := 1.0
+				for _, v := range vals {
+					p *= v.mat.bcAt(i, j)
+				}
+				s += p
+			}
+		}
+		return refScalar(s), nil
+
+	case hop.KindCast:
+		x, err := ri.eval(h.Inputs[0], cache)
+		if err != nil {
+			return nil, err
+		}
+		if !x.isMat {
+			return x, nil
+		}
+		if x.mat.rows != 1 || x.mat.cols != 1 {
+			return nil, fmt.Errorf("ref: as.scalar on %dx%d", x.mat.rows, x.mat.cols)
+		}
+		return refScalar(x.mat.a[0]), nil
+	}
+	return nil, fmt.Errorf("ref: unsupported hop kind %v", h.Kind)
+}
+
+func (ri *refInterp) binary(h *hop.Hop, cache map[int64]*refVal) (*refVal, error) {
+	vals, err := ri.inputs(h, cache)
+	if err != nil {
+		return nil, err
+	}
+	a, b := vals[0], vals[1]
+	if a.isStr || b.isStr {
+		if h.Op != "+" {
+			return nil, fmt.Errorf("ref: strings support only concatenation")
+		}
+		return &refVal{str: a.format() + b.format(), isStr: true}, nil
+	}
+	if !a.isMat && !b.isMat {
+		return refScalar(refBinary(h.Op, a.scalar, b.scalar)), nil
+	}
+	if a.isMat && b.isMat {
+		rows, cols := a.mat.rows, a.mat.cols
+		if b.mat.rows > rows {
+			rows = b.mat.rows
+		}
+		if b.mat.cols > cols {
+			cols = b.mat.cols
+		}
+		m := newRmat(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.set(i, j, refBinary(h.Op, a.mat.bcAt(i, j), b.mat.bcAt(i, j)))
+			}
+		}
+		return refMat(m), nil
+	}
+	if a.isMat {
+		m := newRmat(a.mat.rows, a.mat.cols)
+		for i, v := range a.mat.a {
+			m.a[i] = refBinary(h.Op, v, b.scalar)
+		}
+		return refMat(m), nil
+	}
+	m := newRmat(b.mat.rows, b.mat.cols)
+	for i, v := range b.mat.a {
+		m.a[i] = refBinary(h.Op, a.scalar, v)
+	}
+	return refMat(m), nil
+}
+
+func (ri *refInterp) agg(h *hop.Hop, cache map[int64]*refVal) (*refVal, error) {
+	x, err := ri.eval(h.Inputs[0], cache)
+	if err != nil {
+		return nil, err
+	}
+	m := x.mat
+	switch h.Op {
+	case "nrow":
+		return refScalar(float64(m.rows)), nil
+	case "ncol":
+		return refScalar(float64(m.cols)), nil
+	case "sum":
+		var s float64
+		for _, v := range m.a {
+			s += v
+		}
+		return refScalar(s), nil
+	case "sumsq":
+		var s float64
+		for _, v := range m.a {
+			s += v * v
+		}
+		return refScalar(s), nil
+	case "mean":
+		cells := float64(m.rows) * float64(m.cols)
+		if cells == 0 {
+			return refScalar(math.NaN()), nil
+		}
+		var s float64
+		for _, v := range m.a {
+			s += v
+		}
+		return refScalar(s / cells), nil
+	case "min", "max":
+		if len(m.a) == 0 {
+			return refScalar(math.NaN()), nil
+		}
+		best := m.a[0]
+		for _, v := range m.a {
+			if h.Op == "min" && v < best || h.Op == "max" && v > best {
+				best = v
+			}
+		}
+		return refScalar(best), nil
+	case "trace":
+		n := m.rows
+		if m.cols < n {
+			n = m.cols
+		}
+		var s float64
+		for i := 0; i < n; i++ {
+			s += m.at(i, i)
+		}
+		return refScalar(s), nil
+	case "rowSums":
+		out := newRmat(m.rows, 1)
+		for i := 0; i < m.rows; i++ {
+			var s float64
+			for j := 0; j < m.cols; j++ {
+				s += m.at(i, j)
+			}
+			out.a[i] = s
+		}
+		return refMat(out), nil
+	case "colSums":
+		out := newRmat(1, m.cols)
+		for i := 0; i < m.rows; i++ {
+			for j := 0; j < m.cols; j++ {
+				out.a[j] += m.at(i, j)
+			}
+		}
+		return refMat(out), nil
+	case "rowMaxs":
+		out := newRmat(m.rows, 1)
+		for i := 0; i < m.rows; i++ {
+			best := math.Inf(-1)
+			for j := 0; j < m.cols; j++ {
+				if v := m.at(i, j); v > best {
+					best = v
+				}
+			}
+			out.a[i] = best
+		}
+		return refMat(out), nil
+	}
+	return nil, fmt.Errorf("ref: unknown aggregate %q", h.Op)
+}
+
+// bounds mirrors the runtime's index-bound resolution: 1-based inclusive
+// surface ranges become 0-based half-open; nil lower bound means the full
+// dimension, nil upper bound a single element.
+func (ri *refInterp) bounds(h *hop.Hop, off int, x *rmat, cache map[int64]*refVal) (r0, r1, c0, c1 int, err error) {
+	get := func(i int, def int) (int, error) {
+		if i >= len(h.Inputs) || h.Inputs[i] == nil {
+			return def, nil
+		}
+		v, err := ri.eval(h.Inputs[i], cache)
+		if err != nil {
+			return 0, err
+		}
+		return int(v.scalar), nil
+	}
+	rl, err := get(off, 0)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if h.Inputs[off] == nil {
+		r0, r1 = 0, x.rows
+	} else {
+		ru, err := get(off+1, rl)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		r0, r1 = rl-1, ru
+	}
+	cl, err := get(off+2, 0)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if off+2 >= len(h.Inputs) || h.Inputs[off+2] == nil {
+		c0, c1 = 0, x.cols
+	} else {
+		cu, err := get(off+3, cl)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		c0, c1 = cl-1, cu
+	}
+	if r0 < 0 || c0 < 0 || r1 > x.rows || c1 > x.cols || r0 > r1 || c0 > c1 {
+		return 0, 0, 0, 0, fmt.Errorf("ref: index [%d:%d,%d:%d] out of %dx%d", r0, r1, c0, c1, x.rows, x.cols)
+	}
+	return r0, r1, c0, c1, nil
+}
+
+func refTranspose(a *rmat) *rmat {
+	out := newRmat(a.cols, a.rows)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			out.set(j, i, a.at(i, j))
+		}
+	}
+	return out
+}
+
+// refSolve solves A x = b by Gauss–Jordan elimination with partial
+// pivoting on an augmented system — deliberately a different elimination
+// scheme than the production LU kernel.
+func refSolve(a, b *rmat) (*refVal, error) {
+	n := a.rows
+	if a.cols != n || b.rows != n {
+		return nil, fmt.Errorf("ref: solve shape %dx%d / %dx%d", a.rows, a.cols, b.rows, b.cols)
+	}
+	m := b.cols
+	w := n + m
+	aug := newRmat(n, w)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			aug.set(i, j, a.at(i, j))
+		}
+		for j := 0; j < m; j++ {
+			aug.set(i, n+j, b.at(i, j))
+		}
+	}
+	for col := 0; col < n; col++ {
+		piv, pval := col, math.Abs(aug.at(col, col))
+		for r := col + 1; r < n; r++ {
+			if av := math.Abs(aug.at(r, col)); av > pval {
+				piv, pval = r, av
+			}
+		}
+		if pval < 1e-12 {
+			return nil, fmt.Errorf("ref: singular system at column %d", col)
+		}
+		if piv != col {
+			for j := 0; j < w; j++ {
+				aug.a[piv*w+j], aug.a[col*w+j] = aug.a[col*w+j], aug.a[piv*w+j]
+			}
+		}
+		d := aug.at(col, col)
+		for j := 0; j < w; j++ {
+			aug.a[col*w+j] /= d
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug.at(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < w; j++ {
+				aug.a[r*w+j] -= f * aug.a[col*w+j]
+			}
+		}
+	}
+	out := newRmat(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			out.set(i, j, aug.at(i, n+j))
+		}
+	}
+	return refMat(out), nil
+}
+
+func refUnary(op string, v float64) float64 {
+	switch op {
+	case "-":
+		return -v
+	case "!":
+		if v == 0 {
+			return 1
+		}
+		return 0
+	case "sqrt":
+		return math.Sqrt(v)
+	case "abs":
+		return math.Abs(v)
+	case "exp":
+		return math.Exp(v)
+	case "log":
+		return math.Log(v)
+	case "round":
+		return math.Round(v)
+	case "floor":
+		return math.Floor(v)
+	case "ceil":
+		return math.Ceil(v)
+	case "sign":
+		switch {
+		case v > 0:
+			return 1
+		case v < 0:
+			return -1
+		}
+		return 0
+	case "sq":
+		return v * v
+	}
+	return math.NaN()
+}
+
+func refBinary(op string, a, b float64) float64 {
+	switch op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	case "/":
+		return a / b
+	case "^":
+		return math.Pow(a, b)
+	case "min":
+		return math.Min(a, b)
+	case "max":
+		return math.Max(a, b)
+	case "<":
+		return rb2f(a < b)
+	case "<=":
+		return rb2f(a <= b)
+	case ">":
+		return rb2f(a > b)
+	case ">=":
+		return rb2f(a >= b)
+	case "==":
+		return rb2f(a == b)
+	case "!=":
+		return rb2f(a != b)
+	case "&":
+		return rb2f(a != 0 && b != 0)
+	case "|":
+		return rb2f(a != 0 || b != 0)
+	}
+	return math.NaN()
+}
+
+func rb2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,272 @@
+package verify
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/dml"
+	"elasticml/internal/hdfs"
+	"elasticml/internal/hop"
+	"elasticml/internal/matrix"
+)
+
+func TestULPDist(t *testing.T) {
+	next := math.Nextafter(1, 2)
+	cases := []struct {
+		a, b float64
+		want uint64
+	}{
+		{1, 1, 0},
+		{0, 0, 0},
+		{math.Copysign(0, -1), 0, 0}, // -0 == +0
+		{1, next, 1},
+		{next, 1, 1},
+		{1, 2, 1 << 52},
+		{-1, -math.Nextafter(1, 2), 1},
+		{math.NaN(), math.NaN(), 0},
+		{math.NaN(), 1, math.MaxUint64},
+		{1, math.NaN(), math.MaxUint64},
+	}
+	for _, c := range cases {
+		if got := ulpDist(c.a, c.b); got != c.want {
+			t.Errorf("ulpDist(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	// The ordered-bits transform must be monotone across the sign change.
+	if d := ulpDist(-math.SmallestNonzeroFloat64, math.SmallestNonzeroFloat64); d > 4 {
+		t.Errorf("sign-straddling denormals %d ULP apart, want a small distance", d)
+	}
+}
+
+func TestCloseRel(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{1, 1 + 1e-7, true},
+		{1, 1.1, false},
+		{1e12, 1e12 + 1, true}, // relative scale
+		{0, 1e-7, true},        // absolute floor at scale 1
+		{0, 1e-5, false},
+		{math.NaN(), math.NaN(), true},
+		{math.NaN(), 1, false},
+	}
+	for _, c := range cases {
+		if got := closeRel(c.a, c.b); got != c.want {
+			t.Errorf("closeRel(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFuzzProgramsDeterministicAndParse(t *testing.T) {
+	for i := 0; i < 40; i++ {
+		a, b := FuzzProgram(7, i), FuzzProgram(7, i)
+		if a.Source != b.Source {
+			t.Fatalf("fuzz program %d differs across generations for the same seed", i)
+		}
+		if _, err := dml.Parse(a.Source); err != nil {
+			t.Errorf("fuzz program %d does not parse: %v\n%s", i, err, a.Source)
+		}
+	}
+	if FuzzProgram(7, 0).Source == FuzzProgram(8, 0).Source {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestRunProgramDeterministic(t *testing.T) {
+	p := Corpus()[0] // LinregDS
+	a := RunProgram(p, Options{})
+	b := RunProgram(p, Options{})
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two runs of %s produced different reports:\n%+v\nvs\n%+v", p.Name, a, b)
+	}
+	if f := a.Fatals(); len(f) > 0 {
+		t.Errorf("%s: %d fatal findings, first: %s", p.Name, len(f), f[0])
+	}
+	if a.Outputs == 0 {
+		t.Errorf("%s: no persistent outputs compared", p.Name)
+	}
+	if a.Ops == 0 {
+		t.Errorf("%s: auditor observed no kernel invocations", p.Name)
+	}
+}
+
+func TestFuzzProgramsClean(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		p := FuzzProgram(1, i)
+		r := RunProgram(p, Options{})
+		if f := r.Fatals(); len(f) > 0 {
+			t.Errorf("%s: %d fatal findings, first: %s\n%s", p.Name, len(f), f[0], p.Source)
+		}
+	}
+}
+
+func TestReferenceKnownValues(t *testing.T) {
+	// A program with hand-computable outputs exercises the reference
+	// interpreter directly: Z = (2*ones(2x3))' %*% ones(2x3) is the 3x3
+	// matrix of all 4s, and s = sum(Z) = 36.
+	src := `
+A = matrix(2, rows=2, cols=3);
+B = matrix(1, rows=2, cols=3);
+Z = t(A) %*% B;
+s = sum(Z);
+write(Z, "/out/Z");
+print(s);
+`
+	fs := hdfs.New()
+	prog, err := dml.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := hop.NewCompiler(fs, nil).Compile(prog, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunReference(hp, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, ok := ref.Writes["/out/Z"]
+	if !ok {
+		t.Fatalf("reference wrote %v, want /out/Z", ref.Writes)
+	}
+	if z.rows != 3 || z.cols != 3 {
+		t.Fatalf("Z is %dx%d, want 3x3", z.rows, z.cols)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if got := z.at(i, j); got != 4 {
+				t.Errorf("Z[%d,%d] = %v, want 4", i, j, got)
+			}
+		}
+	}
+	if len(ref.Prints) != 1 || ref.Prints[0] != "36" {
+		t.Errorf("prints = %v, want [36]", ref.Prints)
+	}
+	// The full harness agrees: the same program runs clean under every
+	// configuration and against this reference.
+	r := RunProgram(Program{Name: "known-values", Source: src}, Options{})
+	if f := r.Fatals(); len(f) > 0 {
+		t.Errorf("harness disagrees on known-value program: %s", f[0])
+	}
+}
+
+func TestAuditorFlagsViolations(t *testing.T) {
+	aud := &auditor{program: "p", config: "c"}
+	out := matrix.Filled(10, 10, 1.5) // 800 B of payload + header
+	in := matrix.Filled(10, 10, 2.5)
+	sz := out.InMemorySize()
+
+	// Sound estimates produce no findings.
+	aud.hook(&hop.Hop{Kind: hop.KindBinary, OutMem: sz, OpMem: sz * 3}, []*matrix.Matrix{in}, out)
+	if len(aud.findings) != 0 {
+		t.Fatalf("sound estimates flagged: %v", aud.findings)
+	}
+
+	// An OutMem estimate below the materialized size is a violation; so is
+	// an OpMem below output+operands.
+	aud.hook(&hop.Hop{Kind: hop.KindBinary, OutMem: sz - 1, OpMem: sz - 1}, []*matrix.Matrix{in}, out)
+	if len(aud.findings) != 2 {
+		t.Fatalf("%d findings, want 2 (OutMem and OpMem)", len(aud.findings))
+	}
+	for _, f := range aud.findings {
+		if f.Kind != EstimateViolation {
+			t.Errorf("finding kind %s, want %s", f.Kind, EstimateViolation)
+		}
+		if !f.Fatal() {
+			t.Error("estimate violations must be fatal")
+		}
+		if f.Actual <= f.Estimate {
+			t.Errorf("finding actual %d <= estimate %d", f.Actual, f.Estimate)
+		}
+	}
+
+	// Infinite estimates (unknown sizes at compile time) are waived.
+	n := len(aud.findings)
+	inf := conf.Bytes(1) << 60
+	if !hop.InfiniteMem(inf) {
+		t.Fatal("test constant is not the infinite-estimate sentinel")
+	}
+	aud.hook(&hop.Hop{Kind: hop.KindBinary, OutMem: inf, OpMem: inf}, []*matrix.Matrix{in}, out)
+	if len(aud.findings) != n {
+		t.Error("infinite estimates must not be audited")
+	}
+	if aud.ops != 3 {
+		t.Errorf("auditor counted %d ops, want 3", aud.ops)
+	}
+}
+
+func TestCompareRunsDetectsMismatch(t *testing.T) {
+	mk := func(cfg string, v float64) *runOutput {
+		m := matrix.Filled(2, 2, 1)
+		m.Set(1, 1, v)
+		return &runOutput{
+			cfg:     cfg,
+			paths:   []string{"/out/Z"},
+			outputs: map[string]*matrix.Matrix{"/out/Z": m},
+		}
+	}
+	var res ProgramResult
+	compareRuns(&res, "p", mk("a", 1), mk("b", 1), 0)
+	if len(res.Findings) != 0 {
+		t.Fatalf("identical runs flagged: %v", res.Findings)
+	}
+	compareRuns(&res, "p", mk("a", 1), mk("b", math.Nextafter(1, 2)), 0)
+	if len(res.Findings) != 1 || res.Findings[0].Kind != CrossConfigMismatch {
+		t.Fatalf("1-ULP drift at tolerance 0: findings %v", res.Findings)
+	}
+	if res.MaxULP != 1 {
+		t.Errorf("max ULP %d, want 1", res.MaxULP)
+	}
+	// The same drift under a nonzero tolerance is recorded but tolerated.
+	var res2 ProgramResult
+	compareRuns(&res2, "p", mk("a", 1), mk("b", math.Nextafter(1, 2)), 2)
+	if len(res2.Findings) != 1 || res2.Findings[0].Kind != ToleratedULP {
+		t.Fatalf("tolerated drift: findings %v", res2.Findings)
+	}
+	if len(res2.Fatals()) != 0 {
+		t.Error("tolerated ULP drift must not be fatal")
+	}
+}
+
+func TestDefaultConfigsForcePlanDiversity(t *testing.T) {
+	cfgs := DefaultConfigs()
+	if len(cfgs) < 4 {
+		t.Fatalf("%d configurations, want at least 4", len(cfgs))
+	}
+	var tiny, multi, faulty, optimized bool
+	names := map[string]bool{}
+	for _, c := range cfgs {
+		if names[c.Name] {
+			t.Errorf("duplicate configuration name %q", c.Name)
+		}
+		names[c.Name] = true
+		if c.CP <= 64*conf.KB {
+			tiny = true
+		}
+		if c.Cores > 1 {
+			multi = true
+		}
+		if c.Faults.Enabled() {
+			faulty = true
+		}
+		if c.Optimize {
+			optimized = true
+		}
+	}
+	if !tiny {
+		t.Error("no configuration with a tiny CP heap (CP-MR flip coverage)")
+	}
+	if !multi {
+		t.Error("no multi-core configuration")
+	}
+	if !faulty {
+		t.Error("no fault-injecting configuration")
+	}
+	if !optimized {
+		t.Error("no optimizer-picked configuration")
+	}
+}

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-kernels check bench verify-corpus cover
+.PHONY: build test vet race race-kernels race-workload check bench verify-corpus cover
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,13 @@ race:
 race-kernels:
 	$(GO) test -race -count=2 ./internal/matrix ./internal/rt
 
-check: vet race race-kernels
+# The multi-tenant workload service under the race detector, doubled:
+# overlapping tenants, node failures, plan-cache churn, and the service's
+# fan-out/join paths at Workers=4.
+race-workload:
+	$(GO) test -race -count=2 ./internal/workload
+
+check: vet race race-kernels race-workload
 
 # Differential plan verification: the paper corpus plus a fixed-seed fuzz
 # stream, each program run under every resource configuration and against

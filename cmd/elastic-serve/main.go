@@ -1,0 +1,190 @@
+// Command elastic-serve runs the multi-tenant elastic workload service: N
+// DML programs with staggered arrivals contend for one simulated YARN
+// cluster, sharing a plan cache across tenants, with §5-style mid-run
+// re-optimization on departures and node failures. It prints a per-tenant
+// admission report and can emit a machine-readable JSON report and a
+// Chrome trace.
+//
+// The simulation is deterministic: the same flags produce byte-identical
+// reports and traces at any -workers value, which CI uses as the workload
+// determinism gate.
+//
+// Usage:
+//
+//	elastic-serve                                   # 16-tenant demo workload
+//	elastic-serve -tenants 24 -seed 7 -mean-gap 2 -workers 4
+//	elastic-serve -node-fail 1@25 -json report.json -trace trace.json
+//	elastic-serve -scenario workload.json -nodes 4 -node-mem 8GB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/fault"
+	"elasticml/internal/obs"
+	"elasticml/internal/workload"
+)
+
+func main() {
+	var (
+		tenants = flag.Int("tenants", 16, "tenant count for the seeded workload generator")
+		seed    = flag.Int64("seed", 42, "workload generator seed")
+		meanGap = flag.Float64("mean-gap", 3, "mean tenant inter-arrival gap in simulated seconds")
+		scen    = flag.String("scenario", "", "JSON workload file (overrides the generator)")
+
+		workers = flag.Int("workers", 1, "service computation fan-out; any value yields byte-identical reports")
+		cache   = flag.Int("cache", 0, "shared plan cache capacity (0 = default 64, negative disables)")
+		points  = flag.Int("points", 7, "optimizer grid resolution per tenant")
+
+		nodes    = flag.Int("nodes", 2, "cluster worker nodes")
+		nodeMem  = flag.String("node-mem", "2GB", "memory per node (e.g. 8GB)")
+		nodeFail = flag.String("node-fail", "", "injected node failures, e.g. 1@25,0@60 (node@seconds)")
+
+		jsonOut  = flag.String("json", "", "write the JSON report to this file ('-' for stdout)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file")
+		metrics  = flag.Bool("metrics", false, "print the workload metrics registry")
+	)
+	flag.Parse()
+	out := &obs.ErrWriter{W: os.Stdout}
+
+	cc := conf.DefaultCluster()
+	cc.Nodes = *nodes
+	mem, err := parseBytes(*nodeMem)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elastic-serve: bad -node-mem: %v\n", err)
+		os.Exit(2)
+	}
+	cc.MemPerNode = mem
+	if cc.MaxAlloc > mem {
+		cc.MaxAlloc = mem
+	}
+
+	var jobs []workload.JobSpec
+	if *scen != "" {
+		f, err := os.Open(*scen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elastic-serve:", err)
+			os.Exit(2)
+		}
+		jobs, err = workload.LoadScenario(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elastic-serve:", err)
+			os.Exit(2)
+		}
+	} else {
+		if *tenants < 1 {
+			fmt.Fprintln(os.Stderr, "elastic-serve: -tenants must be positive")
+			os.Exit(2)
+		}
+		jobs = workload.Generate(*seed, *tenants, *meanGap)
+	}
+
+	o := workload.DefaultOptions()
+	o.Workers = *workers
+	o.CacheEntries = *cache
+	o.Points = *points
+	if *nodeFail != "" {
+		for _, part := range strings.Split(*nodeFail, ",") {
+			var node int
+			var at float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d@%g", &node, &at); err != nil {
+				fmt.Fprintf(os.Stderr, "elastic-serve: bad -node-fail entry %q (want node@seconds)\n", part)
+				os.Exit(2)
+			}
+			o.NodeFailures = append(o.NodeFailures, fault.NodeFailure{Node: node, At: at})
+		}
+	}
+	var tr *obs.Tracer
+	if *traceOut != "" || *metrics {
+		tr = obs.New(*traceOut != "")
+		o.Trace = tr
+	}
+
+	rep, err := workload.Run(cc, jobs, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elastic-serve:", err)
+		os.Exit(1)
+	}
+
+	if err := rep.WriteTable(out); err == nil {
+		if *metrics {
+			fmt.Fprintln(out)
+			tr.Metrics().WriteText(out)
+		}
+	}
+	if *jsonOut != "" {
+		if *jsonOut == "-" {
+			err = rep.WriteJSON(out)
+		} else {
+			err = writeReport(rep, *jsonOut)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elastic-serve:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(tr, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "elastic-serve:", err)
+			os.Exit(1)
+		}
+	}
+	if err := out.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "elastic-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// writeReport writes the JSON report to a file.
+func writeReport(rep *workload.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace writes the Chrome trace file.
+func writeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseBytes accepts sizes like "512MB", "4.4GB".
+func parseBytes(s string) (conf.Bytes, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := conf.Bytes(1)
+	switch {
+	case strings.HasSuffix(s, "TB"):
+		mult, s = conf.TB, s[:len(s)-2]
+	case strings.HasSuffix(s, "GB"):
+		mult, s = conf.GB, s[:len(s)-2]
+	case strings.HasSuffix(s, "MB"):
+		mult, s = conf.MB, s[:len(s)-2]
+	case strings.HasSuffix(s, "KB"):
+		mult, s = conf.KB, s[:len(s)-2]
+	case strings.HasSuffix(s, "B"):
+		s = s[:len(s)-1]
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return conf.Bytes(v * float64(mult)), nil
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Smoke tests for the workload service entry point: flag validation, the
+// JSON report shape, scenario files, and the CLI-level determinism the CI
+// gate relies on.
+
+var (
+	binPath string
+	tmpDir  string
+)
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "elastic-serve-test")
+	if err != nil {
+		os.Exit(1)
+	}
+	tmpDir = dir
+	binPath = filepath.Join(dir, "elastic-serve")
+	build := exec.Command("go", "build", "-o", binPath, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(binPath, args...)
+	var out, errOut strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &errOut
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	return out.String(), errOut.String(), code
+}
+
+func TestDemoWorkload(t *testing.T) {
+	out, errOut, code := run(t, "-tenants", "8", "-node-fail", "1@25")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"tenant-00", "plan cache:", "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONReportShape(t *testing.T) {
+	out, errOut, code := run(t, "-tenants", "6", "-json", "-")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	idx := strings.Index(out, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON in output:\n%s", out)
+	}
+	var rep struct {
+		Tenants []struct {
+			Tenant string  `json:"tenant"`
+			Served bool    `json:"served"`
+			Config string  `json:"config"`
+			Lat    float64 `json:"latency"`
+		} `json:"tenants"`
+		P50   float64 `json:"p50_latency"`
+		P95   float64 `json:"p95_latency"`
+		Cache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal([]byte(out[idx:]), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rep.Tenants) != 6 {
+		t.Fatalf("want 6 tenants, got %d", len(rep.Tenants))
+	}
+	if rep.Cache.Hits < 1 {
+		t.Errorf("demo workload should hit the plan cache, got %d hits", rep.Cache.Hits)
+	}
+	if rep.P50 > rep.P95 {
+		t.Errorf("p50 %g > p95 %g", rep.P50, rep.P95)
+	}
+}
+
+// TestDeterministicReports mirrors the CI gate: two identical invocations
+// (at different worker counts) write byte-identical report files.
+func TestDeterministicReports(t *testing.T) {
+	a := filepath.Join(tmpDir, "a.json")
+	b := filepath.Join(tmpDir, "b.json")
+	if _, errOut, code := run(t, "-tenants", "10", "-node-fail", "1@25", "-workers", "1", "-json", a); code != 0 {
+		t.Fatalf("run a: exit %d: %s", code, errOut)
+	}
+	if _, errOut, code := run(t, "-tenants", "10", "-node-fail", "1@25", "-workers", "4", "-json", b); code != 0 {
+		t.Fatalf("run b: exit %d: %s", code, errOut)
+	}
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Error("reports differ between -workers 1 and -workers 4")
+	}
+	if len(ab) == 0 {
+		t.Error("empty report file")
+	}
+}
+
+func TestScenarioFile(t *testing.T) {
+	scen := filepath.Join(tmpDir, "scen.json")
+	src := `{"jobs":[
+		{"tenant":"a","script":"LinregDS","size":"XS","arrival":0},
+		{"tenant":"b","script":"LinregDS","size":"XS","arrival":1}
+	]}`
+	if err := os.WriteFile(scen, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, code := run(t, "-scenario", scen)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "a ") || !strings.Contains(out, "b ") {
+		t.Errorf("scenario tenants missing from report:\n%s", out)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-tenants", "0"},
+		{"-node-mem", "wat"},
+		{"-node-fail", "zap"},
+		{"-scenario", filepath.Join(tmpDir, "missing.json")},
+		{"-node-fail", "9@5"}, // node out of range for the 2-node default
+	}
+	for _, args := range cases {
+		if _, _, code := run(t, args...); code == 0 {
+			t.Errorf("%v: want non-zero exit", args)
+		}
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	tr := filepath.Join(tmpDir, "trace.json")
+	if _, errOut, code := run(t, "-tenants", "4", "-trace", tr, "-metrics"); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	data, err := os.ReadFile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"workload"`) {
+		t.Error("trace missing workload layer events")
+	}
+}

@@ -30,6 +30,7 @@ func (r *Runner) Experiments() []struct {
 		{"table6", r.Table6},
 		{"ablations", r.Ablations},
 		{"failures", r.FailureSweep},
+		{"workload", r.Workload},
 	}
 }
 

@@ -33,6 +33,9 @@ type Runner struct {
 	// Quick reduces grid resolution and scenario coverage for fast test
 	// runs; full runs match the paper's parameters.
 	Quick bool
+	// ArtifactDir is where experiments drop machine-readable outputs
+	// (e.g. BENCH_workload.json); empty means the current directory.
+	ArtifactDir string
 }
 
 // New returns a Runner printing to out.

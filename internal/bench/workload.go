@@ -1,0 +1,135 @@
+package bench
+
+// Multi-tenant workload sweep (experiment "workload"): the elastic job
+// service of internal/workload across tenant counts and cache settings,
+// reporting tenant latency percentiles, queueing delay, plan-cache hit
+// rate, and cluster utilization, with and without a mid-run node failure.
+// Not a figure from the paper — it composes the paper's per-program
+// optimizer (§3) and cluster-change re-optimization (§5) into the serving
+// scenario the elasticity machinery exists for. The summary row set is
+// also written to BENCH_workload.json for downstream tooling.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/fault"
+	"elasticml/internal/workload"
+)
+
+// workloadSeed fixes the tenant generator so the sweep is reproducible.
+const workloadSeed = 42
+
+// WorkloadRow is one sweep configuration's summary, as serialized into
+// BENCH_workload.json.
+type WorkloadRow struct {
+	Tenants      int     `json:"tenants"`
+	CacheEntries int     `json:"cache_entries"` // -1 = caching disabled
+	NodeFailure  bool    `json:"node_failure"`
+	P50Latency   float64 `json:"p50_latency"`
+	P95Latency   float64 `json:"p95_latency"`
+	MeanQueue    float64 `json:"mean_queue_delay"`
+	Makespan     float64 `json:"makespan"`
+	HitRate      float64 `json:"cache_hit_rate"`
+	Utilization  float64 `json:"utilization"`
+	ReoptChanges int     `json:"reopt_changes"`
+	Requeues     int     `json:"requeues"`
+	Unserved     int     `json:"unserved"`
+}
+
+// workloadCluster is the sweep's deliberately tight cluster (2 nodes x
+// 2 GB): admission contention is the point of the experiment.
+func workloadCluster() conf.Cluster {
+	cc := conf.DefaultCluster()
+	cc.Nodes = 2
+	cc.MemPerNode = 2 * conf.GB
+	cc.MaxAlloc = 2 * conf.GB
+	return cc
+}
+
+// Workload (experiment "workload") sweeps the multi-tenant service and
+// writes BENCH_workload.json next to the report.
+func (r *Runner) Workload() error {
+	tenantCounts := []int{8, 16, 32}
+	if r.Quick {
+		tenantCounts = []int{8, 16}
+	}
+	caches := []int{0, -1} // shared cache (default size) vs disabled
+	cc := workloadCluster()
+
+	r.printf("Multi-tenant workload service: %d-node cluster, %s/node, seed %d\n",
+		cc.Nodes, cc.MemPerNode, workloadSeed)
+	r.printf("%8s %7s %9s %9s %9s %10s %9s %8s %7s %7s %9s\n",
+		"tenants", "cache", "fail", "p50[s]", "p95[s]", "queue[s]", "mksp[s]", "hit%", "util%", "reopts", "requeues")
+
+	var rows []WorkloadRow
+	for _, n := range tenantCounts {
+		jobs := workload.Generate(workloadSeed, n, 3)
+		for _, cacheEntries := range caches {
+			for _, withFailure := range []bool{false, true} {
+				o := workload.DefaultOptions()
+				o.CacheEntries = cacheEntries
+				if withFailure {
+					o.NodeFailures = []fault.NodeFailure{{Node: 1, At: 25}}
+				}
+				rep, err := workload.Run(cc, jobs, o)
+				if err != nil {
+					return err
+				}
+				row := WorkloadRow{
+					Tenants:      n,
+					CacheEntries: cacheEntries,
+					NodeFailure:  withFailure,
+					P50Latency:   rep.P50Latency,
+					P95Latency:   rep.P95Latency,
+					MeanQueue:    rep.MeanQueueDelay,
+					Makespan:     rep.Makespan,
+					HitRate:      rep.Cache.HitRate(),
+					Utilization:  rep.Utilization,
+					ReoptChanges: rep.ReoptChanges,
+					Requeues:     rep.Requeues,
+					Unserved:     rep.Unserved,
+				}
+				rows = append(rows, row)
+				cacheLabel := "shared"
+				if cacheEntries < 0 {
+					cacheLabel = "off"
+				}
+				failLabel := "-"
+				if withFailure {
+					failLabel = "1@25s"
+				}
+				r.printf("%8d %7s %9s %9.1f %9.1f %10.1f %9.1f %7.0f%% %6.0f%% %7d %7d\n",
+					n, cacheLabel, failLabel, row.P50Latency, row.P95Latency, row.MeanQueue,
+					row.Makespan, 100*row.HitRate, 100*row.Utilization, row.ReoptChanges, row.Requeues)
+			}
+		}
+	}
+	r.printf("\n")
+
+	path := filepath.Join(r.ArtifactDir, "BENCH_workload.json")
+	if err := writeWorkloadJSON(path, rows); err != nil {
+		return err
+	}
+	r.printf("wrote %s (%d rows)\n", path, len(rows))
+	return nil
+}
+
+// writeWorkloadJSON serializes the sweep rows with stable formatting.
+func writeWorkloadJSON(path string, rows []WorkloadRow) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Rows []WorkloadRow `json:"rows"`
+	}{rows}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWorkloadSweep runs the multi-tenant sweep in quick mode and checks
+// the report text plus the BENCH_workload.json artifact shape.
+func TestWorkloadSweep(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	r := New(&sb)
+	r.Quick = true
+	r.ArtifactDir = dir
+	if err := r.Workload(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"tenants", "p95[s]", "hit%", "wrote"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_workload.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Rows []WorkloadRow `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bad artifact JSON: %v", err)
+	}
+	// Quick mode: 2 tenant counts x 2 cache settings x {no failure, failure}.
+	if len(doc.Rows) != 8 {
+		t.Fatalf("want 8 sweep rows, got %d", len(doc.Rows))
+	}
+	sawSharedHit, sawDisabled := false, false
+	for _, row := range doc.Rows {
+		if row.P50Latency > row.P95Latency {
+			t.Errorf("row %+v: p50 > p95", row)
+		}
+		if row.Utilization < 0 || row.Utilization > 1 {
+			t.Errorf("row %+v: utilization out of range", row)
+		}
+		if row.CacheEntries >= 0 && row.HitRate > 0 {
+			sawSharedHit = true
+		}
+		if row.CacheEntries < 0 {
+			sawDisabled = true
+			if row.HitRate != 0 {
+				t.Errorf("disabled cache reported hit rate %v", row.HitRate)
+			}
+		}
+		if row.NodeFailure && row.Requeues == 0 && row.Tenants >= 16 {
+			t.Errorf("row %+v: node failure produced no requeues", row)
+		}
+	}
+	if !sawSharedHit {
+		t.Error("no sweep row with a shared-cache hit")
+	}
+	if !sawDisabled {
+		t.Error("no cache-disabled rows in the sweep")
+	}
+}

@@ -16,13 +16,14 @@ var layerTID = map[Layer]int{
 	LayerRuntime:  3,
 	LayerCluster:  4,
 	LayerAdapt:    5,
+	LayerWorkload: 6,
 }
 
 func tidOf(l Layer) int {
 	if tid, ok := layerTID[l]; ok {
 		return tid
 	}
-	return 6
+	return 7
 }
 
 // WriteChromeTrace serializes the recorded events as Chrome trace_event

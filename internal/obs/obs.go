@@ -36,6 +36,9 @@ const (
 	LayerCluster Layer = "cluster"
 	// LayerAdapt covers runtime resource adaptation and migration.
 	LayerAdapt Layer = "adapt"
+	// LayerWorkload covers the multi-tenant workload service: tenant
+	// queueing, admission, execution, and service-level re-optimization.
+	LayerWorkload Layer = "workload"
 )
 
 // logicalTick is the logical-clock advance per event (in seconds) for

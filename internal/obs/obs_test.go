@@ -137,9 +137,9 @@ func TestChromeExport(t *testing.T) {
 	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
 		t.Fatalf("export is not valid JSON: %v", err)
 	}
-	// 1 process + 5 thread metadata + 2 span events + 1 complete + 1 instant.
-	if len(doc.TraceEvents) != 10 {
-		t.Errorf("event count = %d, want 10", len(doc.TraceEvents))
+	// 1 process + 6 thread metadata + 2 span events + 1 complete + 1 instant.
+	if len(doc.TraceEvents) != 11 {
+		t.Errorf("event count = %d, want 11", len(doc.TraceEvents))
 	}
 	var phases []string
 	for _, ev := range doc.TraceEvents {

@@ -51,7 +51,7 @@ func (t *Tracer) SpanTotals(layer Layer) map[string]SpanTotal {
 // WriteSummary renders a per-layer, per-name aggregate of all recorded
 // spans as sorted text — the flat human-readable trace digest.
 func (t *Tracer) WriteSummary(w io.Writer) error {
-	for _, layer := range []Layer{LayerCompile, LayerOptimize, LayerRuntime, LayerCluster, LayerAdapt} {
+	for _, layer := range []Layer{LayerCompile, LayerOptimize, LayerRuntime, LayerCluster, LayerAdapt, LayerWorkload} {
 		totals := t.SpanTotals(layer)
 		if len(totals) == 0 {
 			continue

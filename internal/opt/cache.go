@@ -1,0 +1,204 @@
+package opt
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/hop"
+)
+
+// The shared plan cache memoizes optimization outcomes across tenants of a
+// multi-program workload: repeated submissions of the same script over the
+// same inputs under the same cluster view skip the grid search entirely.
+//
+// Correctness contract: a cache hit must be indistinguishable from a fresh
+// compile-and-optimize. The cache therefore stores only the *outcome* of
+// the search — the resource vector R*_P and its costed estimate — never
+// compiled plan structures (HOP/LOP DAGs are mutated by dynamic
+// recompilation and runtime back-patching, so sharing them across tenants
+// would leak state). Callers recompile from source and re-select the plan
+// under the cached vector, which is cheap and byte-identical to the cold
+// path by construction; the cache key must capture every input the grid
+// search depends on (CacheKey below), so a stale or mismatched entry is
+// impossible as long as keys are built from the same components.
+
+// InputMeta identifies one input matrix of a program for cache keying:
+// its dimensions and sparsity are compile-time metadata that change memory
+// estimates and therefore optimization outcomes.
+type InputMeta struct {
+	Path       string
+	Rows, Cols int64
+	NNZ        int64
+	Format     string
+}
+
+// CacheKey derives the plan-cache key for one optimization problem: the
+// script source, its parameter bindings, the input matrix metadata, the
+// cluster configuration (a node failure or a free-slice clamp changes the
+// key, invalidating entries computed for the old cluster state), and the
+// optimizer options. Workers and TimeBudget are deliberately excluded:
+// the task-parallel optimizer returns the same result as the sequential
+// one, and the service never sets a time budget (it would make outcomes
+// wall-clock dependent).
+func CacheKey(source string, params map[string]interface{}, inputs []InputMeta, cc conf.Cluster, opts Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "src:%d:%s\n", len(source), source)
+
+	names := make([]string, 0, len(params))
+	for k := range params {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(h, "param:%s=%v\n", k, params[k])
+	}
+
+	metas := append([]InputMeta(nil), inputs...)
+	sort.Slice(metas, func(i, j int) bool { return metas[i].Path < metas[j].Path })
+	for _, m := range metas {
+		fmt.Fprintf(h, "in:%s:%dx%d:%d:%s\n", m.Path, m.Rows, m.Cols, m.NNZ, m.Format)
+	}
+
+	fmt.Fprintf(h, "cc:%d:%d:%d:%d:%d:%d:%d:%g:%g\n",
+		cc.Nodes, cc.CoresPerNode, cc.MemPerNode, cc.MinAlloc, cc.MaxAlloc,
+		cc.HDFSBlockSize, cc.Reducers, cc.ContainerOverhead, cc.CPBudgetRatio)
+	fmt.Fprintf(h, "opt:%d:%d:%d:%t:%v:%g\n",
+		opts.GridCP, opts.GridMR, opts.Points, opts.DisablePruning,
+		opts.CPCoreCandidates, opts.ClusterLoad)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CacheStats reports cache effectiveness.
+type CacheStats struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Insertions int64 `json:"insertions"`
+	Evictions  int64 `json:"evictions"`
+	Entries    int   `json:"entries"`
+}
+
+// HitRate returns hits / (hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// cacheItem is one LRU entry.
+type cacheItem struct {
+	key  string
+	res  conf.Resources
+	cost float64
+}
+
+// Cache is a bounded LRU plan cache, safe for concurrent use. Entries are
+// isolated: lookups return deep copies, so callers can mutate the returned
+// resource vector without corrupting later hits.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	index    map[string]*list.Element
+	lru      list.List // front = most recently used
+	stats    CacheStats
+}
+
+// DefaultCacheEntries is the default cache capacity.
+const DefaultCacheEntries = 64
+
+// NewCache returns a cache holding at most capacity entries (capacity <= 0
+// selects DefaultCacheEntries).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	return &Cache{capacity: capacity, index: make(map[string]*list.Element)}
+}
+
+// Lookup returns the cached optimization outcome for the key, counting a
+// hit or miss and refreshing recency on hit.
+func (c *Cache) Lookup(key string) (conf.Resources, float64, bool) {
+	if c == nil {
+		return conf.Resources{}, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		c.stats.Misses++
+		return conf.Resources{}, 0, false
+	}
+	c.stats.Hits++
+	c.lru.MoveToFront(el)
+	it := el.Value.(*cacheItem)
+	return it.res.Clone(), it.cost, true
+}
+
+// Insert stores (or refreshes) the outcome for the key, evicting the least
+// recently used entry when over capacity.
+func (c *Cache) Insert(key string, res conf.Resources, cost float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Insertions++
+	if el, ok := c.index[key]; ok {
+		it := el.Value.(*cacheItem)
+		it.res = res.Clone()
+		it.cost = cost
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.index[key] = c.lru.PushFront(&cacheItem{key: key, res: res.Clone(), cost: cost})
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		delete(c.index, back.Value.(*cacheItem).key)
+		c.lru.Remove(back)
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// OptimizeCached solves the resource allocation problem through the
+// cache: a hit returns the memoized configuration and cost without
+// touching the grid; a miss runs the full search and memoizes the
+// outcome. The caller is responsible for deriving the key with CacheKey
+// from the same program, cluster, and options it passes here. A nil cache
+// degenerates to Optimize.
+func (o *Optimizer) OptimizeCached(hp *hop.Program, c *Cache, key string) (*Result, bool) {
+	if res, cost, ok := c.Lookup(key); ok {
+		return &Result{Res: res, Cost: cost}, true
+	}
+	r := o.Optimize(hp)
+	if r != nil && c != nil {
+		c.Insert(key, r.Res, r.Cost)
+	}
+	return r, false
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	return s
+}

@@ -1,0 +1,194 @@
+package opt
+
+import (
+	"testing"
+	"time"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/datagen"
+	"elasticml/internal/dml"
+	"elasticml/internal/hdfs"
+	"elasticml/internal/hop"
+	"elasticml/internal/scripts"
+)
+
+func testKeyInputs() (string, map[string]interface{}, []InputMeta, conf.Cluster, Options) {
+	src := "X = read($X);\nprint(nrow(X));"
+	params := map[string]interface{}{"X": "/data/X", "eps": 1e-6}
+	inputs := []InputMeta{
+		{Path: "/data/X", Rows: 1000, Cols: 10, NNZ: 10000, Format: "binary"},
+		{Path: "/data/y", Rows: 1000, Cols: 1, NNZ: 1000, Format: "binary"},
+	}
+	return src, params, inputs, conf.DefaultCluster(), DefaultOptions()
+}
+
+// TestCacheKeySensitivity: the key must change with anything that can
+// change an optimization outcome, and must NOT change with knobs that are
+// guaranteed result-neutral (worker count, time budget).
+func TestCacheKeySensitivity(t *testing.T) {
+	src, params, inputs, cc, opts := testKeyInputs()
+	base := CacheKey(src, params, inputs, cc, opts)
+	if base != CacheKey(src, params, inputs, cc, opts) {
+		t.Fatal("key not deterministic")
+	}
+
+	mut := func(name string, f func()) string {
+		f()
+		k := CacheKey(src, params, inputs, cc, opts)
+		if k == base {
+			t.Errorf("%s: key did not change", name)
+		}
+		src, params, inputs, cc, opts = testKeyInputs()
+		return k
+	}
+	mut("source", func() { src += "\n# tweak" })
+	mut("param value", func() { params["eps"] = 1e-5 })
+	mut("param added", func() { params["extra"] = true })
+	mut("input rows", func() { inputs[0].Rows++ })
+	mut("input nnz", func() { inputs[1].NNZ-- })
+	mut("input dropped", func() { inputs = inputs[:1] })
+	mut("cluster nodes", func() { cc.Nodes-- })
+	mut("cluster max alloc", func() { cc.MaxAlloc /= 2 })
+	mut("cluster mem", func() { cc.MemPerNode -= conf.GB })
+	mut("grid points", func() { opts.Points = 3 })
+	mut("pruning", func() { opts.DisablePruning = true })
+	mut("core candidates", func() { opts.CPCoreCandidates = []int{1, 2} })
+	mut("cluster load", func() { opts.ClusterLoad = 0.5 })
+
+	// Result-neutral knobs: parallel enumeration returns the same result
+	// (TestParallelMatchesSerial) and the time budget only bounds effort.
+	opts.Workers = 8
+	if CacheKey(src, params, inputs, cc, opts) != base {
+		t.Error("worker count changed the key")
+	}
+	opts = DefaultOptions()
+	opts.TimeBudget = time.Second
+	if CacheKey(src, params, inputs, cc, opts) != base {
+		t.Error("time budget changed the key")
+	}
+
+	// Param and input order must not matter (canonicalized by sorting).
+	inputs[0], inputs[1] = inputs[1], inputs[0]
+	if CacheKey(src, params, inputs, cc, opts) != base {
+		t.Error("input order changed the key")
+	}
+}
+
+// TestCacheLRU: capacity bounds entries, lookups refresh recency, and the
+// least recently used entry is the one evicted.
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	r := conf.NewResources(conf.GB, 512*conf.MB, 2)
+	c.Insert("a", r, 1)
+	c.Insert("b", r, 2)
+	if _, _, ok := c.Lookup("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Insert("c", r, 3) // evicts b
+	if _, _, ok := c.Lookup("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, _, ok := c.Lookup("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, cost, ok := c.Lookup("c"); !ok || cost != 3 {
+		t.Errorf("c lookup: ok=%v cost=%v", ok, cost)
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 || st.Insertions != 3 {
+		t.Errorf("stats: %+v", st)
+	}
+	// Hits: a, a, c = 3; misses: initial a+b+c inserts don't count, but the
+	// failed b lookup does.
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("hit/miss accounting: %+v", st)
+	}
+	if hr := st.HitRate(); hr <= 0.74 || hr >= 0.76 {
+		t.Errorf("hit rate %v, want 0.75", hr)
+	}
+}
+
+// TestCacheCloneIsolation: mutating a returned or inserted Resources value
+// must not corrupt the cached copy.
+func TestCacheCloneIsolation(t *testing.T) {
+	c := NewCache(4)
+	r := conf.NewResources(conf.GB, 512*conf.MB, 2)
+	c.Insert("k", r, 1)
+	r.MR[0] = 0 // caller mutates after insert
+
+	got, _, ok := c.Lookup("k")
+	if !ok {
+		t.Fatal("missing")
+	}
+	if got.MR[0] != 512*conf.MB {
+		t.Error("insert did not clone: caller mutation visible")
+	}
+	got.MR[1] = 0 // caller mutates the returned value
+	again, _, _ := c.Lookup("k")
+	if again.MR[1] != 512*conf.MB {
+		t.Error("lookup did not clone: mutation of a returned value visible")
+	}
+}
+
+// TestCacheNilAndDefaults: a nil cache is a valid no-op sink, and
+// non-positive capacities select the default.
+func TestCacheNilAndDefaults(t *testing.T) {
+	var c *Cache
+	if _, _, ok := c.Lookup("x"); ok {
+		t.Error("nil cache hit")
+	}
+	c.Insert("x", conf.Resources{}, 1) // must not panic
+	if c.Len() != 0 || c.Stats() != (CacheStats{}) {
+		t.Error("nil cache not empty")
+	}
+	if got := NewCache(0).capacity; got != DefaultCacheEntries {
+		t.Errorf("default capacity %d, want %d", got, DefaultCacheEntries)
+	}
+}
+
+// TestOptimizeCachedHitEqualsCold: a cache hit returns exactly the cold
+// optimization outcome for a real program.
+func TestOptimizeCachedHitEqualsCold(t *testing.T) {
+	fs := hdfs.New()
+	datagen.Describe(fs, datagen.New("XS", 1000, 1.0))
+	spec := scripts.LinregDS()
+	prog, err := dml.Parse(spec.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := hop.NewCompiler(fs, spec.Params)
+	hp, err := comp.Compile(prog, spec.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := conf.DefaultCluster()
+	o := New(cc)
+	o.Opts.Points = 5
+
+	cold := o.Optimize(hp)
+	cache := NewCache(4)
+	key := "some-key"
+	miss, hit := o.OptimizeCached(hp, cache, key)
+	if hit {
+		t.Fatal("first call must miss")
+	}
+	if miss.Cost != cold.Cost || miss.Res.String() != cold.Res.String() {
+		t.Fatalf("miss result differs from plain Optimize: %v/%v vs %v/%v",
+			miss.Res, miss.Cost, cold.Res, cold.Cost)
+	}
+	got, hit := o.OptimizeCached(hp, cache, key)
+	if !hit {
+		t.Fatal("second call must hit")
+	}
+	if got.Cost != cold.Cost {
+		t.Errorf("hit cost %v != cold cost %v", got.Cost, cold.Cost)
+	}
+	if got.Res.CP != cold.Res.CP || got.Res.CPCores != cold.Res.CPCores || len(got.Res.MR) != len(cold.Res.MR) {
+		t.Fatalf("hit res %v != cold res %v", got.Res, cold.Res)
+	}
+	for i := range got.Res.MR {
+		if got.Res.MR[i] != cold.Res.MR[i] {
+			t.Errorf("hit MR[%d] %v != cold %v", i, got.Res.MR[i], cold.Res.MR[i])
+		}
+	}
+}

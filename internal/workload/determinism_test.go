@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"elasticml/internal/obs"
+)
+
+// runDemo executes the 16-tenant demo workload (with a node failure) at
+// the given service worker count and returns the marshalled report plus
+// the Chrome trace bytes — the two artifacts the determinism gate pins.
+func runDemo(t *testing.T, workers int) (reportJSON, trace []byte) {
+	t.Helper()
+	tr := obs.New(true)
+	o := demoOptions()
+	o.Workers = workers
+	o.Trace = tr
+	rep, err := Run(demoCluster(), demoJobs(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rj bytes.Buffer
+	if err := rep.WriteJSON(&rj); err != nil {
+		t.Fatal(err)
+	}
+	var tb bytes.Buffer
+	if err := tr.WriteChromeTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	return rj.Bytes(), tb.Bytes()
+}
+
+// diffLine locates the first differing line of two byte slices for a
+// readable failure message.
+func diffLine(a, b []byte) string {
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}
+
+// TestSameSeedByteIdentical: two runs of the same workload produce
+// byte-identical reports and traces — the workload determinism gate
+// (wired in CI next to the trace-determinism gate).
+func TestSameSeedByteIdentical(t *testing.T) {
+	r1, t1 := runDemo(t, 1)
+	r2, t2 := runDemo(t, 1)
+	if !bytes.Equal(r1, r2) {
+		t.Errorf("report JSON differs between identical runs:\n%s", diffLine(r1, r2))
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Errorf("trace differs between identical runs:\n%s", diffLine(t1, t2))
+	}
+}
+
+// TestWorkerCountInvariance: the service's worker pool only fans out pure
+// computations whose results are applied back in job order, so Workers=4
+// must reproduce the Workers=1 schedule, costs, cache counters, and trace
+// byte for byte.
+func TestWorkerCountInvariance(t *testing.T) {
+	r1, t1 := runDemo(t, 1)
+	r4, t4 := runDemo(t, 4)
+	if !bytes.Equal(r1, r4) {
+		t.Errorf("report JSON differs between Workers=1 and Workers=4:\n%s", diffLine(r1, r4))
+	}
+	if !bytes.Equal(t1, t4) {
+		t.Errorf("trace differs between Workers=1 and Workers=4:\n%s", diffLine(t1, t4))
+	}
+}

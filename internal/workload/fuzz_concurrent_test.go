@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/dml"
+	"elasticml/internal/fault"
+	"elasticml/internal/hdfs"
+	"elasticml/internal/hop"
+	"elasticml/internal/lop"
+	"elasticml/internal/matrix"
+	"elasticml/internal/opt"
+	"elasticml/internal/rt"
+	"elasticml/internal/verify"
+)
+
+const fuzzSeed = 7
+
+// fuzzJobs turns K generated fuzzer programs into overlapping value-mode
+// tenant submissions.
+func fuzzJobs(k int) []JobSpec {
+	jobs := make([]JobSpec, k)
+	for i := 0; i < k; i++ {
+		p := verify.FuzzProgram(fuzzSeed, i)
+		jobs[i] = JobSpec{
+			Tenant:  fmt.Sprintf("fuzz-%02d", i),
+			Source:  p.Source,
+			Params:  p.Params,
+			Setup:   p.Setup,
+			Arrival: float64(i), // 1s apart — well inside each other's runtimes
+		}
+	}
+	return jobs
+}
+
+// isolatedRun executes one fuzzer program alone: fresh file system,
+// cold optimization, value-mode execution — the reference the concurrent
+// service run must match bit for bit.
+func isolatedRun(t *testing.T, p verify.Program, cc conf.Cluster) (map[string]*matrix.Matrix, string) {
+	t.Helper()
+	fs := hdfs.New()
+	if p.Setup != nil {
+		p.Setup(fs)
+	}
+	prog, err := dml.Parse(p.Source)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", p.Name, err)
+	}
+	comp := hop.NewCompiler(fs, p.Params)
+	hp, err := comp.Compile(prog, p.Source)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", p.Name, err)
+	}
+	res := opt.New(cc).Optimize(hp).Res
+	plan := lop.Select(hp, cc, res)
+	ip := rt.New(rt.ModeValue, fs, cc, res)
+	ip.Compiler = comp
+	var out bytes.Buffer
+	ip.Out = &out
+	if err := ip.Run(plan); err != nil {
+		t.Fatalf("%s: run: %v", p.Name, err)
+	}
+	outputs := map[string]*matrix.Matrix{}
+	for _, name := range fs.List() {
+		f, err := fs.Stat(name)
+		if err != nil || f.Data == nil || len(name) < 4 || name[:4] != "/out" {
+			continue
+		}
+		outputs[name] = f.Data
+	}
+	return outputs, out.String()
+}
+
+// sameMatrix demands bit-identical cells.
+func sameMatrix(a, b *matrix.Matrix) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		return false
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if math.Float64bits(a.At(i, j)) != math.Float64bits(b.At(i, j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestFuzzConcurrentMatchesIsolated: K fuzzer programs pushed through the
+// multi-tenant service — contending for memory, admitted under degraded
+// clamped configurations, re-optimized on departures — must produce
+// bit-identical outputs and print streams to sequential isolated runs.
+// This leans on the repo's core invariant: resource configurations change
+// the plan, never the result.
+func TestFuzzConcurrentMatchesIsolated(t *testing.T) {
+	const k = 6
+	cc := demoCluster()
+	jobs := fuzzJobs(k)
+	o := DefaultOptions()
+	o.Workers = 4
+	rep, err := Run(cc, jobs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unserved != 0 {
+		t.Fatalf("want all fuzz tenants served, got %d unserved", rep.Unserved)
+	}
+	if rep.MaxConcurrent < 2 {
+		t.Errorf("fuzz tenants did not overlap (peak %d); widen the runtimes", rep.MaxConcurrent)
+	}
+
+	for i := 0; i < k; i++ {
+		p := verify.FuzzProgram(fuzzSeed, i)
+		wantOut, wantPrints := isolatedRun(t, p, cc)
+		got := rep.Tenants[i]
+		if got.Prints != wantPrints {
+			t.Errorf("fuzz-%02d print stream diverged:\n--- service ---\n%s--- isolated ---\n%s",
+				i, got.Prints, wantPrints)
+		}
+		if len(got.Outputs) != len(wantOut) {
+			t.Errorf("fuzz-%02d wrote %d outputs in service, %d isolated", i, len(got.Outputs), len(wantOut))
+			continue
+		}
+		paths := make([]string, 0, len(wantOut))
+		for path := range wantOut {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			g, ok := got.Outputs[path]
+			if !ok {
+				t.Errorf("fuzz-%02d missing output %s in service run", i, path)
+				continue
+			}
+			if !sameMatrix(g, wantOut[path]) {
+				t.Errorf("fuzz-%02d output %s not bit-identical between service and isolated run", i, path)
+			}
+		}
+	}
+}
+
+// TestFuzzConcurrentWithFailures repeats the differential check under a
+// node failure: requeued fuzz tenants re-execute from a fresh compile, so
+// their outputs must still match the isolated reference exactly.
+func TestFuzzConcurrentWithFailures(t *testing.T) {
+	const k = 4
+	cc := demoCluster()
+	jobs := fuzzJobs(k)
+	o := DefaultOptions()
+	o.Workers = 4
+	o.NodeFailures = []fault.NodeFailure{{Node: 0, At: 2.5}}
+	rep, err := Run(cc, jobs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unserved != 0 {
+		t.Fatalf("want all fuzz tenants served, got %d unserved", rep.Unserved)
+	}
+	for i := 0; i < k; i++ {
+		p := verify.FuzzProgram(fuzzSeed, i)
+		wantOut, wantPrints := isolatedRun(t, p, cc)
+		got := rep.Tenants[i]
+		if got.Prints != wantPrints {
+			t.Errorf("fuzz-%02d print stream diverged under failure", i)
+		}
+		for path, want := range wantOut {
+			if g, ok := got.Outputs[path]; !ok || !sameMatrix(g, want) {
+				t.Errorf("fuzz-%02d output %s diverged under failure", i, path)
+			}
+		}
+	}
+}

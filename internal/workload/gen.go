@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"elasticml/internal/datagen"
+	"elasticml/internal/scripts"
+)
+
+// genPrograms is the program pool of the seeded generator. It is kept
+// deliberately small (three of the five evaluation programs) so realistic
+// tenant mixes repeat programs and exercise the shared plan cache.
+func genPrograms() []scripts.Spec {
+	return []scripts.Spec{scripts.LinregDS(), scripts.LinregCG(), scripts.L2SVM()}
+}
+
+// genScenarios is the data-scenario pool of the seeded generator: small
+// scenarios only, so per-tenant simulation stays cheap.
+func genScenarios() []datagen.Scenario {
+	return []datagen.Scenario{
+		datagen.New("XS", 1000, 1.0),
+		datagen.New("S", 1000, 1.0),
+		datagen.New("XS", 100, 0.01),
+	}
+}
+
+// Generate builds a deterministic n-tenant workload from a seed: programs
+// and scenarios are drawn uniformly from small pools, and inter-arrival
+// gaps are exponential with the given mean (seconds), rounded to
+// milliseconds so reports print stably.
+func Generate(seed int64, n int, meanGap float64) []JobSpec {
+	if meanGap <= 0 {
+		meanGap = 10
+	}
+	r := rand.New(rand.NewSource(seed))
+	progs := genPrograms()
+	scens := genScenarios()
+	jobs := make([]JobSpec, n)
+	arrival := 0.0
+	for i := range jobs {
+		gap := r.ExpFloat64() * meanGap
+		arrival += math.Round(gap*1000) / 1000
+		jobs[i] = JobSpec{
+			Tenant:   fmt.Sprintf("tenant-%02d", i),
+			Script:   progs[r.Intn(len(progs))],
+			Scenario: scens[r.Intn(len(scens))],
+			Arrival:  arrival,
+		}
+	}
+	return jobs
+}
+
+// scenarioFile is the on-disk workload description accepted by
+// LoadScenario (and the elastic-serve -scenario flag).
+type scenarioFile struct {
+	Jobs []scenarioJob `json:"jobs"`
+}
+
+type scenarioJob struct {
+	Tenant   string  `json:"tenant"`
+	Script   string  `json:"script"`
+	Size     string  `json:"size"`
+	Cols     int64   `json:"cols"`
+	Sparsity float64 `json:"sparsity"`
+	Arrival  float64 `json:"arrival"`
+}
+
+// LoadScenario parses a JSON workload description: a list of jobs naming
+// an evaluation script (LinregDS, LinregCG, L2SVM, MLogreg, GLM), a data
+// scenario (size/cols/sparsity, defaults S/1000/dense), and an arrival
+// time in simulated seconds.
+func LoadScenario(rd io.Reader) ([]JobSpec, error) {
+	var f scenarioFile
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("workload: scenario: %w", err)
+	}
+	if len(f.Jobs) == 0 {
+		return nil, fmt.Errorf("workload: scenario: no jobs")
+	}
+	jobs := make([]JobSpec, len(f.Jobs))
+	for i, sj := range f.Jobs {
+		spec, ok := scripts.ByName(sj.Script)
+		if !ok {
+			return nil, fmt.Errorf("workload: scenario job %d: unknown script %q", i, sj.Script)
+		}
+		size := sj.Size
+		if size == "" {
+			size = "S"
+		}
+		cols := sj.Cols
+		if cols == 0 {
+			cols = 1000
+		}
+		sparsity := sj.Sparsity
+		if sparsity == 0 {
+			sparsity = 1.0
+		}
+		sc, err := datagen.Parse(size, cols, sparsity)
+		if err != nil {
+			return nil, fmt.Errorf("workload: scenario job %d: %w", i, err)
+		}
+		tenant := sj.Tenant
+		if tenant == "" {
+			tenant = fmt.Sprintf("tenant-%02d", i)
+		}
+		jobs[i] = JobSpec{Tenant: tenant, Script: spec, Scenario: sc, Arrival: sj.Arrival}
+	}
+	return jobs, nil
+}

@@ -1,0 +1,757 @@
+package workload
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/datagen"
+	"elasticml/internal/dml"
+	"elasticml/internal/hdfs"
+	"elasticml/internal/hop"
+	"elasticml/internal/lop"
+	"elasticml/internal/matrix"
+	"elasticml/internal/obs"
+	"elasticml/internal/opt"
+	"elasticml/internal/rt"
+	"elasticml/internal/yarn"
+)
+
+// evKind orders same-time events: node failures are observed before the
+// departures they might invalidate, and arrivals are admitted last, against
+// the post-failure, post-departure cluster state.
+type evKind int
+
+const (
+	evFail evKind = iota
+	evDepart
+	evArrive
+)
+
+// event is one discrete-event queue entry.
+type event struct {
+	at   float64
+	kind evKind
+	seq  int // insertion order, the final tie-break
+	job  int // arrive/depart
+	gen  int // depart: job generation this event was scheduled for
+	node int // fail
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// jobState is a tenant job's lifecycle position.
+type jobState int
+
+const (
+	jsPending jobState = iota // submitted, arrival event not yet fired
+	jsQueued                  // arrived, waiting for admission
+	jsRunning                 // holds an AM container until its departure
+	jsDone                    // served to completion
+	jsFailed                  // compile or execution error — never served
+	jsUnserved                // still queued when the simulation drained
+)
+
+// job is the service-side state of one tenant submission.
+type job struct {
+	idx   int
+	spec  JobSpec
+	state jobState
+
+	res  conf.Resources
+	cost float64
+	cont yarn.Container
+
+	// gen invalidates stale departure events after re-optimization or
+	// re-admission rescheduled the job.
+	gen    int
+	finish float64
+	// fracRem is the fraction of the program's work still outstanding;
+	// it drops below 1 when a node failure kills the job mid-run.
+	fracRem float64
+	// requeued marks the next admission as a post-failure re-admission.
+	requeued bool
+
+	result TenantResult
+}
+
+// compiled is one job's freshly compiled program plus everything the cache
+// key derives from. Each admission and re-optimization check compiles from
+// source: compiled plans are mutated by dynamic recompilation at runtime,
+// so only optimization outcomes are shared, never plan structures.
+type compiled struct {
+	fs     *hdfs.FS
+	comp   *hop.Compiler
+	hp     *hop.Program
+	mode   rt.Mode
+	source string
+	params map[string]interface{}
+	inputs []opt.InputMeta
+}
+
+// simResult is one job's simulated execution outcome.
+type simResult struct {
+	simSeconds float64
+	paths      []string
+	outputs    map[string]*matrix.Matrix
+	dims       map[string][3]int64
+	prints     string
+	err        error
+}
+
+// Service is the multi-tenant elastic job service. Create with New, drive
+// with Run; a Service is single-use.
+type Service struct {
+	cc    conf.Cluster
+	opts  Options
+	rm    *yarn.ResourceManager
+	live  conf.Cluster // cc with Nodes shrunk to the live node count
+	cache *opt.Cache
+	tr    *obs.Tracer
+
+	jobs  []*job
+	queue []int // FIFO of job indices awaiting admission
+	evs   eventHeap
+	seq   int
+
+	now          float64
+	lastT        float64
+	usedIntegral float64 // ∫ allocated bytes dt
+	capIntegral  float64 // ∫ live capacity bytes dt
+	running      int
+
+	rep Report
+}
+
+// New builds a service over a fresh simulated cluster. The shared plan
+// cache is created here so successive Run batches (or an external test)
+// could observe its stats; CacheEntries < 0 disables caching.
+func New(cc conf.Cluster, o Options) (*Service, error) {
+	if err := cc.Validate(); err != nil {
+		return nil, err
+	}
+	o = o.normalized()
+	s := &Service{
+		cc:   cc,
+		opts: o,
+		rm:   yarn.NewResourceManager(cc),
+		live: cc,
+		tr:   o.Trace,
+	}
+	if o.CacheEntries >= 0 {
+		s.cache = opt.NewCache(o.CacheEntries)
+	}
+	return s, nil
+}
+
+// Run admits and executes the job list to completion and returns the
+// report. The simulation is deterministic: identical inputs yield
+// byte-identical reports at any Options.Workers value.
+func Run(cc conf.Cluster, jobs []JobSpec, o Options) (*Report, error) {
+	s, err := New(cc, o)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(jobs)
+}
+
+// Run executes one workload batch.
+func (s *Service) Run(specs []JobSpec) (*Report, error) {
+	if err := validate(specs, s.cc.Nodes, s.opts.NodeFailures); err != nil {
+		return nil, err
+	}
+	s.jobs = make([]*job, len(specs))
+	for i, spec := range specs {
+		j := &job{idx: i, spec: spec, fracRem: 1}
+		tenant := spec.Tenant
+		if tenant == "" {
+			tenant = fmt.Sprintf("tenant-%02d", i)
+		}
+		j.result = TenantResult{
+			Tenant:  tenant,
+			Program: spec.name(),
+			Arrival: spec.Arrival,
+		}
+		if spec.Source == "" {
+			j.result.Scenario = fmt.Sprintf("%s/%s", spec.Scenario.Size, spec.Scenario.ShapeName())
+		}
+		s.jobs[i] = j
+		s.push(event{at: spec.Arrival, kind: evArrive, job: i})
+	}
+	for _, nf := range s.opts.NodeFailures {
+		s.push(event{at: nf.At, kind: evFail, node: nf.Node})
+	}
+
+	for len(s.evs) > 0 {
+		batch := s.popBatch()
+		s.advanceTo(batch[0].at)
+		failed, departed := false, false
+		for _, ev := range batch {
+			switch ev.kind {
+			case evFail:
+				s.applyFail(ev)
+				failed = true
+			case evDepart:
+				if s.applyDepart(ev) {
+					departed = true
+				}
+			case evArrive:
+				s.applyArrive(ev)
+			}
+		}
+		// §5-style elastic re-optimization: every departure and node
+		// failure re-evaluates the running jobs against the new cluster
+		// state before freed capacity is handed to the queue.
+		if failed {
+			s.reoptimize("failure")
+		} else if departed {
+			s.reoptimize("departure")
+		}
+		s.tryAdmit()
+	}
+
+	// The event queue drained; whatever is still waiting can never be
+	// admitted (the shrunken cluster has no chunk for the FIFO head and no
+	// further departures or failures will change that).
+	for _, j := range s.jobs {
+		if j.state == jsQueued || j.state == jsPending {
+			j.state = jsUnserved
+		}
+	}
+
+	rep := s.rep
+	rep.Tenants = make([]TenantResult, len(s.jobs))
+	for i, j := range s.jobs {
+		rep.Tenants[i] = j.result
+	}
+	rep.Cache = s.cache.Stats()
+	rep.finalize(s.usedIntegral, s.capIntegral)
+	if m := s.tr.Metrics(); m != nil {
+		m.SetGauge("workload.utilization", rep.Utilization)
+		m.SetGauge("workload.cache_hit_rate", rep.Cache.HitRate())
+		m.SetGauge("workload.p95_latency", rep.P95Latency)
+	}
+	return &rep, nil
+}
+
+// push enqueues an event with the next insertion sequence number.
+func (s *Service) push(ev event) {
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.evs, ev)
+}
+
+// popBatch pops every event sharing the earliest timestamp, in kind/seq
+// order: failures, then departures, then arrivals.
+func (s *Service) popBatch() []event {
+	first := heap.Pop(&s.evs).(event)
+	batch := []event{first}
+	for len(s.evs) > 0 && s.evs[0].at == first.at {
+		batch = append(batch, heap.Pop(&s.evs).(event))
+	}
+	return batch
+}
+
+// advanceTo moves simulated time forward, accumulating the utilization
+// integrals over the elapsed interval.
+func (s *Service) advanceTo(t float64) {
+	if t > s.lastT {
+		dt := t - s.lastT
+		capacity := float64(s.rm.LiveNodes()) * float64(s.cc.MemPerNode)
+		used := capacity - float64(s.rm.AvailableMem())
+		s.usedIntegral += used * dt
+		s.capIntegral += capacity * dt
+		s.lastT = t
+	}
+	s.now = t
+}
+
+// applyFail processes a node failure: the cluster view shrinks, and every
+// running job whose AM container lived on the node is pushed back to the
+// front of the admission queue with its remaining-work fraction preserved.
+func (s *Service) applyFail(ev event) {
+	lost, err := s.rm.FailNode(ev.node)
+	if err != nil {
+		return // validated upfront; defensive
+	}
+	s.live.Nodes = s.rm.LiveNodes()
+	s.rep.NodeFailures++
+	s.tr.Complete(obs.LayerWorkload, "workload.node-fail", s.now, 0,
+		obs.A("node", ev.node), obs.A("lost_containers", len(lost)))
+	s.tr.Metrics().Add("workload.node_failures", 1)
+
+	lostIDs := make(map[yarn.ContainerID]bool, len(lost))
+	for _, c := range lost {
+		lostIDs[c.ID] = true
+	}
+	var requeued []int
+	for _, j := range s.jobs {
+		if j.state != jsRunning || !lostIDs[j.cont.ID] {
+			continue
+		}
+		frac := 0.0
+		if span := j.finish - j.result.Admitted; span > 0 {
+			frac = (j.finish - s.now) / span
+		}
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		j.fracRem *= frac
+		j.gen++ // invalidate the scheduled departure
+		j.state = jsQueued
+		j.cont = yarn.Container{}
+		j.requeued = true
+		j.result.Requeues++
+		s.rep.Requeues++
+		s.running--
+		requeued = append(requeued, j.idx)
+		s.tr.Complete(obs.LayerWorkload, "workload.requeue", s.now, 0,
+			obs.A("tenant", j.result.Tenant), obs.A("node", ev.node))
+	}
+	// Victims go to the queue front (they already waited their turn), in
+	// job order among themselves.
+	s.queue = append(requeued, s.queue...)
+}
+
+// applyDepart finalizes a finished tenant. Stale events — the job was
+// rescheduled by a re-optimization or killed by a node failure since this
+// event was pushed — are skipped via the generation check.
+func (s *Service) applyDepart(ev event) bool {
+	j := s.jobs[ev.job]
+	if j.state != jsRunning || ev.gen != j.gen {
+		return false
+	}
+	_ = s.rm.Release(j.cont.ID)
+	j.cont = yarn.Container{}
+	j.state = jsDone
+	j.result.Served = true
+	j.result.Finished = s.now
+	j.result.Latency = s.now - j.result.Arrival
+	j.result.Config = j.res.String()
+	s.running--
+	s.tr.Complete(obs.LayerWorkload, "tenant.run", j.result.Admitted, s.now-j.result.Admitted,
+		obs.A("tenant", j.result.Tenant), obs.A("program", j.result.Program),
+		obs.A("config", j.result.Config), obs.A("reopts", j.result.Reopts))
+	s.tr.Metrics().Add("workload.departures", 1)
+	s.tr.Metrics().Observe("workload.latency", j.result.Latency)
+	return true
+}
+
+// applyArrive moves a submitted job into the admission queue.
+func (s *Service) applyArrive(ev event) {
+	j := s.jobs[ev.job]
+	j.state = jsQueued
+	s.queue = append(s.queue, ev.job)
+	s.tr.Metrics().Add("workload.arrivals", 1)
+}
+
+// optOpts returns the optimizer options shared by every optimization the
+// service performs. They are part of the cache key, so they must be
+// identical for key-equal lookups to be semantically equal.
+func (s *Service) optOpts() opt.Options {
+	o := opt.DefaultOptions()
+	o.Points = s.opts.Points
+	o.Workers = s.opts.Workers
+	return o
+}
+
+// compileJob compiles a job from source on a fresh file system and
+// collects the input metadata the cache key covers.
+func (s *Service) compileJob(j *job) (c *compiled, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			c, err = nil, fmt.Errorf("panic: %v", rec)
+		}
+	}()
+	c = &compiled{fs: hdfs.New()}
+	if j.spec.Source != "" {
+		c.mode = rt.ModeValue
+		c.source = j.spec.Source
+		c.params = j.spec.Params
+		if j.spec.Setup != nil {
+			j.spec.Setup(c.fs)
+		}
+	} else {
+		c.mode = rt.ModeSim
+		c.source = j.spec.Script.Source
+		c.params = j.spec.Script.Params
+		datagen.Describe(c.fs, j.spec.Scenario)
+	}
+	prog, err := dml.Parse(c.source)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	c.comp = hop.NewCompiler(c.fs, c.params)
+	c.hp, err = c.comp.Compile(prog, c.source)
+	if err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	for _, name := range c.fs.List() {
+		f, statErr := c.fs.Stat(name)
+		if statErr != nil {
+			continue
+		}
+		c.inputs = append(c.inputs, opt.InputMeta{
+			Path: name, Rows: f.Rows, Cols: f.Cols, NNZ: f.NNZ,
+			Format: f.Format.String(),
+		})
+	}
+	return c, nil
+}
+
+// optimizeUnder runs the cache-aware resource optimization of one compiled
+// job under the given cluster view.
+func (s *Service) optimizeUnder(c *compiled, cc conf.Cluster, opts opt.Options) (conf.Resources, float64, bool) {
+	key := opt.CacheKey(c.source, c.params, c.inputs, cc, opts)
+	o := &opt.Optimizer{CC: cc, Opts: opts}
+	r, hit := o.OptimizeCached(c.hp, s.cache, key)
+	return r.Res, r.Cost, hit
+}
+
+// tryAdmit drains the FIFO admission queue as far as capacity allows.
+// Admission is two-phase: the job is first optimized under the *unclamped*
+// live cluster (the stable cache key shared across cluster load states);
+// only if that configuration's AM container does not fit the largest free
+// chunk is it re-optimized under a clamped cluster (degraded admission).
+// The head of the queue blocks the tail — FIFO, no bypass.
+func (s *Service) tryAdmit() {
+	type admission struct {
+		j *job
+		c *compiled
+	}
+	var adm []admission
+	for len(s.queue) > 0 {
+		j := s.jobs[s.queue[0]]
+		chunk := s.rm.MaxFreeChunk()
+		if chunk < s.cc.MinAlloc {
+			break
+		}
+		c, err := s.compileJob(j)
+		if err != nil {
+			s.queue = s.queue[1:]
+			j.state = jsFailed
+			s.tr.Complete(obs.LayerWorkload, "tenant.error", s.now, 0,
+				obs.A("tenant", j.result.Tenant), obs.A("err", err.Error()))
+			continue
+		}
+		opts := s.optOpts()
+		res, cost, hit := s.optimizeUnder(c, s.live, opts)
+		degraded := false
+		if s.cc.ContainerSize(res.CP) > chunk {
+			clamped := s.live
+			clamped.MaxAlloc = chunk
+			res2, cost2, hit2 := s.optimizeUnder(c, clamped, opts)
+			if s.cc.ContainerSize(res2.CP) > chunk {
+				break // not even the clamped optimum fits right now
+			}
+			res, cost = res2, cost2
+			hit = hit && hit2
+			degraded = true
+		}
+		cont, err := s.rm.Allocate(s.cc.ContainerSize(res.CP))
+		if err != nil {
+			break // defensive: retry at the next event
+		}
+		s.queue = s.queue[1:]
+		j.state = jsRunning
+		j.cont = cont
+		j.res, j.cost = res, cost
+		j.result.Admitted = s.now
+		j.result.QueueDelay = s.now - j.result.Arrival
+		j.result.CacheHit = hit
+		j.result.Degraded = degraded
+		s.running++
+		if s.running > s.rep.MaxConcurrent {
+			s.rep.MaxConcurrent = s.running
+		}
+		adm = append(adm, admission{j: j, c: c})
+	}
+	if len(adm) == 0 {
+		return
+	}
+
+	// Simulate this round's admissions in parallel; results are applied in
+	// admission order below, so the schedule is worker-count independent.
+	sims := make([]simResult, len(adm))
+	s.fanOut(len(adm), func(i int) {
+		sims[i] = s.simulate(adm[i].c, adm[i].j.res)
+	})
+	for i, a := range adm {
+		j := a.j
+		sr := sims[i]
+		if sr.err != nil {
+			_ = s.rm.Release(j.cont.ID)
+			j.cont = yarn.Container{}
+			j.state = jsFailed
+			s.running--
+			s.tr.Complete(obs.LayerWorkload, "tenant.error", s.now, 0,
+				obs.A("tenant", j.result.Tenant), obs.A("err", sr.err.Error()))
+			continue
+		}
+		charge := s.opts.OptCharge
+		if j.result.CacheHit {
+			charge = s.opts.HitCharge
+		}
+		if j.requeued {
+			charge += s.opts.RequeueCharge
+			j.requeued = false
+		}
+		j.gen++
+		j.finish = s.now + charge + sr.simSeconds*j.fracRem
+		s.push(event{at: j.finish, kind: evDepart, job: j.idx, gen: j.gen})
+		j.result.Outputs = sr.outputs
+		j.result.Prints = sr.prints
+		j.result.OutputHash = outputHash(sr.paths, sr.outputs, sr.dims, sr.prints)
+		j.result.Config = j.res.String()
+		s.tr.Complete(obs.LayerWorkload, "tenant.queue", j.result.Arrival, j.result.QueueDelay,
+			obs.A("tenant", j.result.Tenant))
+		s.tr.Metrics().Add("workload.admissions", 1)
+		if j.result.CacheHit {
+			s.tr.Metrics().Add("workload.admission_cache_hits", 1)
+		}
+		if j.result.Degraded {
+			s.tr.Metrics().Add("workload.degraded_admissions", 1)
+		}
+	}
+}
+
+// simulate executes one compiled job under its configuration on the
+// runtime, returning the simulated duration and (for value-mode jobs) the
+// written outputs and print stream. It runs on pool workers: it touches no
+// service state besides read-only fields, and emits no trace events.
+func (s *Service) simulate(c *compiled, res conf.Resources) (r simResult) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.err = fmt.Errorf("panic: %v", rec)
+		}
+	}()
+	plan := lop.Select(c.hp, s.live, res)
+	ip := rt.New(c.mode, c.fs, s.live, res)
+	ip.Compiler = c.comp
+	ip.SimTableCols = s.opts.SimTableCols
+	var out bytes.Buffer
+	ip.Out = &out
+	if err := ip.Run(plan); err != nil {
+		r.err = err
+		return r
+	}
+	r.simSeconds = ip.SimTime
+	r.prints = out.String()
+	r.outputs = map[string]*matrix.Matrix{}
+	r.dims = map[string][3]int64{}
+	for _, name := range c.fs.List() {
+		if !strings.HasPrefix(name, "/out") {
+			continue
+		}
+		f, err := c.fs.Stat(name)
+		if err != nil {
+			continue
+		}
+		r.paths = append(r.paths, name)
+		r.dims[name] = [3]int64{f.Rows, f.Cols, f.NNZ}
+		if f.Data != nil {
+			r.outputs[name] = f.Data
+		}
+	}
+	sort.Strings(r.paths)
+	return r
+}
+
+// reoptimize re-evaluates every running job against the current cluster
+// state (paper §5: re-optimization on cluster change). The cache pre-pass
+// and post-pass run sequentially in job order so cache counters and LRU
+// order are identical at any worker count; only cache misses fan out.
+func (s *Service) reoptimize(trigger string) {
+	var running []*job
+	for _, j := range s.jobs {
+		if j.state == jsRunning {
+			running = append(running, j)
+		}
+	}
+	if len(running) == 0 || s.live.Nodes == 0 {
+		return
+	}
+	opts := s.optOpts()
+	type cand struct {
+		j    *job
+		comp *compiled
+		key  string
+		res  conf.Resources
+		cost float64
+		hit  bool
+		err  error
+	}
+	cands := make([]*cand, len(running))
+	for i, j := range running {
+		c := &cand{j: j}
+		c.comp, c.err = s.compileJob(j)
+		if c.err == nil {
+			c.key = opt.CacheKey(c.comp.source, c.comp.params, c.comp.inputs, s.live, opts)
+			if res, cost, ok := s.cache.Lookup(c.key); ok {
+				c.res, c.cost, c.hit = res, cost, true
+			}
+		}
+		s.rep.ReoptChecks++
+		cands[i] = c
+	}
+	s.fanOut(len(cands), func(i int) {
+		c := cands[i]
+		if c.err != nil || c.hit {
+			return
+		}
+		o := &opt.Optimizer{CC: s.live, Opts: opts}
+		r := o.Optimize(c.comp.hp)
+		c.res, c.cost = r.Res, r.Cost
+	})
+	for _, c := range cands {
+		if c.err == nil && !c.hit {
+			s.cache.Insert(c.key, c.res, c.cost)
+		}
+	}
+	for _, c := range cands {
+		if c.err != nil {
+			continue
+		}
+		s.applyReopt(c.j, c.res, c.cost, trigger)
+	}
+	s.tr.Metrics().Add("workload.reopt_passes", 1)
+}
+
+// applyReopt installs a changed configuration on a running job: swap the
+// AM container if the size changed, charge the re-optimization overhead,
+// and rescale the remaining execution time by the cost ratio.
+func (s *Service) applyReopt(j *job, res conf.Resources, cost float64, trigger string) {
+	if resEqual(res, j.res) {
+		return
+	}
+	need := s.cc.ContainerSize(res.CP)
+	if need != j.cont.Mem {
+		// The job's own container is released first, so its memory counts
+		// toward the free slice it may grow into.
+		freeSame, _ := s.rm.FreeOnNode(j.cont.Node)
+		if need > j.cont.Mem+freeSame && need > s.rm.MaxFreeChunk() {
+			return // no room to grow — keep the current configuration
+		}
+		oldMem := j.cont.Mem
+		if err := s.rm.Release(j.cont.ID); err != nil {
+			return
+		}
+		cont, err := s.rm.Allocate(need)
+		if err != nil {
+			// Defensive: reclaim the slot just freed and keep the old
+			// configuration.
+			cont, err = s.rm.Allocate(oldMem)
+			if err != nil {
+				// Cannot even re-take the old slot (impossible in the
+				// sequential loop); re-queue the job.
+				j.gen++
+				j.state = jsQueued
+				j.cont = yarn.Container{}
+				j.requeued = true
+				j.result.Requeues++
+				s.rep.Requeues++
+				s.running--
+				s.queue = append([]int{j.idx}, s.queue...)
+				return
+			}
+			j.cont = cont
+			return
+		}
+		j.cont = cont
+	}
+	oldRes := j.res
+	rem := j.finish - s.now
+	if rem < 0 {
+		rem = 0
+	}
+	if j.cost > 0 && cost > 0 {
+		rem *= cost / j.cost
+	}
+	j.res = res
+	j.cost = cost
+	j.gen++
+	j.finish = s.now + s.opts.ReoptCharge + rem
+	s.push(event{at: j.finish, kind: evDepart, job: j.idx, gen: j.gen})
+	j.result.Reopts++
+	s.rep.ReoptChanges++
+	if trigger == "failure" {
+		s.rep.FailureReopts++
+	} else {
+		s.rep.DepartureReopts++
+	}
+	s.tr.Complete(obs.LayerWorkload, "workload.reopt", s.now, s.opts.ReoptCharge,
+		obs.A("tenant", j.result.Tenant), obs.A("trigger", trigger),
+		obs.A("from", oldRes.String()), obs.A("to", res.String()))
+	s.tr.Metrics().Add("workload.reopt_changes", 1)
+}
+
+// resEqual compares two resource configurations field-wise.
+func resEqual(a, b conf.Resources) bool {
+	if a.CP != b.CP || a.CPCores != b.CPCores || len(a.MR) != len(b.MR) {
+		return false
+	}
+	for i := range a.MR {
+		if a.MR[i] != b.MR[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fanOut runs fn(0..n-1) on up to Options.Workers goroutines and joins.
+// Callers must apply results in index order afterwards; fn must not touch
+// shared mutable state. Workers <= 1 runs inline.
+func (s *Service) fanOut(n int, fn func(int)) {
+	w := s.opts.Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/datagen"
+	"elasticml/internal/fault"
+	"elasticml/internal/scripts"
+)
+
+// demoCluster is a deliberately tight cluster (2 nodes x 2 GB) so a
+// 16-tenant workload produces admission contention: degraded admissions,
+// queueing, and mid-run growth re-optimizations.
+func demoCluster() conf.Cluster {
+	cc := conf.DefaultCluster()
+	cc.Nodes = 2
+	cc.MemPerNode = 2 * conf.GB
+	cc.MaxAlloc = 2 * conf.GB
+	return cc
+}
+
+// demoJobs is the 16-tenant demo workload.
+func demoJobs() []JobSpec {
+	return Generate(42, 16, 3)
+}
+
+// demoOptions adds one node failure mid-workload.
+func demoOptions() Options {
+	o := DefaultOptions()
+	o.NodeFailures = []fault.NodeFailure{{Node: 1, At: 25}}
+	return o
+}
+
+// TestSixteenTenantDemo is the acceptance demo: sixteen tenants over a
+// small cluster with one node failure must exhibit plan-cache hits,
+// at least one mid-run re-optimization, and failure-driven re-admissions,
+// while still serving every tenant.
+func TestSixteenTenantDemo(t *testing.T) {
+	rep, err := Run(demoCluster(), demoJobs(), demoOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tenants) != 16 {
+		t.Fatalf("want 16 tenant results, got %d", len(rep.Tenants))
+	}
+	if rep.Unserved != 0 {
+		t.Errorf("want all tenants served, got %d unserved", rep.Unserved)
+	}
+	if rep.Cache.Hits < 1 {
+		t.Errorf("want at least one plan-cache hit, got %+v", rep.Cache)
+	}
+	if rep.ReoptChecks < 1 {
+		t.Errorf("want re-optimization checks, got %d", rep.ReoptChecks)
+	}
+	if rep.ReoptChanges < 1 {
+		t.Errorf("want at least one mid-run re-optimization change, got %d", rep.ReoptChanges)
+	}
+	if rep.NodeFailures != 1 {
+		t.Errorf("want 1 node failure, got %d", rep.NodeFailures)
+	}
+	if rep.Requeues < 1 {
+		t.Errorf("want at least one failure-driven requeue, got %d", rep.Requeues)
+	}
+	if rep.MaxConcurrent < 2 {
+		t.Errorf("want overlapping tenants, peak concurrency %d", rep.MaxConcurrent)
+	}
+	if rep.Utilization <= 0 || rep.Utilization > 1 {
+		t.Errorf("utilization %v outside (0,1]", rep.Utilization)
+	}
+
+	// Per-tenant timing invariants.
+	degraded, hits := 0, 0
+	for _, tn := range rep.Tenants {
+		if !tn.Served {
+			continue
+		}
+		if tn.Admitted < tn.Arrival {
+			t.Errorf("%s admitted %g before arrival %g", tn.Tenant, tn.Admitted, tn.Arrival)
+		}
+		if got, want := tn.QueueDelay, tn.Admitted-tn.Arrival; got != want {
+			t.Errorf("%s queue delay %g, want %g", tn.Tenant, got, want)
+		}
+		if got, want := tn.Latency, tn.Finished-tn.Arrival; got != want {
+			t.Errorf("%s latency %g, want %g", tn.Tenant, got, want)
+		}
+		if tn.Finished > rep.Makespan {
+			t.Errorf("%s finished %g after makespan %g", tn.Tenant, tn.Finished, rep.Makespan)
+		}
+		if tn.Config == "" {
+			t.Errorf("%s has no final configuration", tn.Tenant)
+		}
+		if tn.OutputHash == "" {
+			t.Errorf("%s has no output hash", tn.Tenant)
+		}
+		if tn.Degraded {
+			degraded++
+		}
+		if tn.CacheHit {
+			hits++
+		}
+	}
+	if degraded == 0 {
+		t.Error("want at least one degraded (free-slice-clamped) admission")
+	}
+	if hits == 0 {
+		t.Error("want at least one tenant admitted via a cache hit")
+	}
+	if rep.P50Latency > rep.P95Latency {
+		t.Errorf("p50 %g > p95 %g", rep.P50Latency, rep.P95Latency)
+	}
+}
+
+// TestReportTableRenders smoke-checks the human-readable rendering.
+func TestReportTableRenders(t *testing.T) {
+	rep, err := Run(demoCluster(), demoJobs(), demoOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"tenant-00", "plan cache:", "makespan", "degraded", "requeue:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCacheDisabledSameSchedule: with the cache disabled every admission
+// pays a cold grid search, but the chosen configurations and the schedule
+// structure must match the cached run — hits are byte-identical to fresh
+// optimization by construction.
+func TestCacheDisabledSameSchedule(t *testing.T) {
+	cached, err := Run(demoCluster(), demoJobs(), demoOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := demoOptions()
+	o.CacheEntries = -1
+	cold, err := Run(demoCluster(), demoJobs(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cache.Hits != 0 || cold.Cache.Misses != 0 {
+		t.Fatalf("disabled cache recorded activity: %+v", cold.Cache)
+	}
+	for i := range cached.Tenants {
+		a, b := cached.Tenants[i], cold.Tenants[i]
+		if a.Config != b.Config {
+			t.Errorf("%s config diverged: cached %s vs cold %s", a.Tenant, a.Config, b.Config)
+		}
+		if a.OutputHash != b.OutputHash {
+			t.Errorf("%s output hash diverged", a.Tenant)
+		}
+		if a.Served != b.Served {
+			t.Errorf("%s served diverged", a.Tenant)
+		}
+	}
+}
+
+// TestClusterDeathLeavesUnserved: when every node fails, running jobs are
+// requeued and everything still waiting is reported unserved instead of
+// hanging the event loop.
+func TestClusterDeathLeavesUnserved(t *testing.T) {
+	cc := demoCluster()
+	cc.Nodes = 1
+	jobs := []JobSpec{
+		{Tenant: "a", Script: scripts.LinregCG(), Scenario: datagen.New("XS", 1000, 1.0), Arrival: 0},
+		{Tenant: "b", Script: scripts.LinregCG(), Scenario: datagen.New("XS", 1000, 1.0), Arrival: 100},
+	}
+	o := DefaultOptions()
+	o.NodeFailures = []fault.NodeFailure{{Node: 0, At: 1}}
+	rep, err := Run(cc, jobs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unserved != 2 {
+		t.Fatalf("want 2 unserved tenants after total cluster loss, got %d", rep.Unserved)
+	}
+	for _, tn := range rep.Tenants {
+		if tn.Served {
+			t.Errorf("%s served on a dead cluster", tn.Tenant)
+		}
+	}
+	if rep.Requeues != 1 {
+		t.Errorf("want the running tenant requeued once, got %d", rep.Requeues)
+	}
+}
+
+// TestValidation rejects degenerate inputs.
+func TestValidation(t *testing.T) {
+	cc := demoCluster()
+	ok := JobSpec{Script: scripts.L2SVM(), Scenario: datagen.New("XS", 1000, 1.0)}
+	cases := []struct {
+		name string
+		jobs []JobSpec
+		o    Options
+	}{
+		{"empty", nil, DefaultOptions()},
+		{"negative arrival", []JobSpec{{Script: scripts.L2SVM(), Scenario: datagen.New("XS", 1000, 1.0), Arrival: -1}}, DefaultOptions()},
+		{"no program", []JobSpec{{Tenant: "x"}}, DefaultOptions()},
+		{"failure out of range", []JobSpec{ok}, Options{NodeFailures: []fault.NodeFailure{{Node: 9, At: 1}}}},
+		{"failure negative time", []JobSpec{ok}, Options{NodeFailures: []fault.NodeFailure{{Node: 0, At: -1}}}},
+		{"duplicate failure", []JobSpec{ok}, Options{NodeFailures: []fault.NodeFailure{{Node: 0, At: 1}, {Node: 0, At: 2}}}},
+	}
+	for _, c := range cases {
+		if _, err := Run(cc, c.jobs, c.o); err == nil {
+			t.Errorf("%s: want error, got nil", c.name)
+		}
+	}
+	if _, err := New(conf.Cluster{}, DefaultOptions()); err == nil {
+		t.Error("invalid cluster: want error, got nil")
+	}
+}
+
+// TestGenerateDeterministic: the seeded generator is a pure function of
+// its arguments.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, 12, 5)
+	b := Generate(7, 12, 5)
+	if len(a) != 12 {
+		t.Fatalf("want 12 jobs, got %d", len(a))
+	}
+	for i := range a {
+		if a[i].Tenant != b[i].Tenant || a[i].Script.Name != b[i].Script.Name ||
+			a[i].Scenario != b[i].Scenario || a[i].Arrival != b[i].Arrival {
+			t.Fatalf("job %d diverged between identical seeds", i)
+		}
+		if i > 0 && a[i].Arrival < a[i-1].Arrival {
+			t.Fatalf("arrivals not monotone at job %d", i)
+		}
+	}
+	c := Generate(8, 12, 5)
+	same := true
+	for i := range a {
+		if a[i].Script.Name != c[i].Script.Name || a[i].Arrival != c[i].Arrival {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+// TestLoadScenario parses the JSON workload format.
+func TestLoadScenario(t *testing.T) {
+	src := `{"jobs":[
+		{"tenant":"acme","script":"LinregDS","size":"XS","cols":100,"sparsity":0.01,"arrival":3.5},
+		{"script":"L2SVM"}
+	]}`
+	jobs, err := LoadScenario(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("want 2 jobs, got %d", len(jobs))
+	}
+	if jobs[0].Tenant != "acme" || jobs[0].Script.Name != "LinregDS" || jobs[0].Arrival != 3.5 {
+		t.Errorf("job 0 parsed wrong: %+v", jobs[0])
+	}
+	if jobs[0].Scenario.Size != "XS" || jobs[0].Scenario.Cols != 100 || jobs[0].Scenario.Sparsity != 0.01 {
+		t.Errorf("job 0 scenario parsed wrong: %+v", jobs[0].Scenario)
+	}
+	// Defaults: tenant name, S/1000/dense.
+	if jobs[1].Tenant != "tenant-01" || jobs[1].Scenario.Size != "S" || jobs[1].Scenario.Cols != 1000 || jobs[1].Scenario.Sparsity != 1.0 {
+		t.Errorf("job 1 defaults wrong: %+v", jobs[1])
+	}
+
+	for name, bad := range map[string]string{
+		"unknown script": `{"jobs":[{"script":"Nope"}]}`,
+		"no jobs":        `{"jobs":[]}`,
+		"bad size":       `{"jobs":[{"script":"GLM","size":"XXL"}]}`,
+		"unknown field":  `{"jobs":[{"script":"GLM","nope":1}]}`,
+	} {
+		if _, err := LoadScenario(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}

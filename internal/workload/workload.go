@@ -1,0 +1,181 @@
+// Package workload composes the repo's ingredients — the per-program
+// resource optimizer (§3), runtime re-optimization on cluster change (§5),
+// the simulated YARN ResourceManager, and the deterministic observability
+// subsystem — into a multi-tenant elastic job service: N DML programs with
+// staggered arrival times contend for one simulated cluster.
+//
+// The service is a discrete-event simulation driven entirely by simulated
+// time, so a workload is a pure function of its inputs: the same job list,
+// cluster, and options produce byte-identical reports at any service
+// worker count (the worker pool only fans out computations whose results
+// are applied back in a fixed order). Per tenant it performs:
+//
+//  1. Admission: FIFO by arrival time. The head-of-queue job is optimized
+//     against the live cluster; if the chosen AM container does not fit
+//     the currently free slice, the job is re-optimized under a cluster
+//     whose maximum allocation is clamped to the largest free chunk
+//     (degraded admission), and queues if even that is infeasible.
+//  2. Execution: the admitted program runs on the execution simulator
+//     under its configuration; its simulated duration holds the AM
+//     container until the departure event.
+//  3. Elastic re-optimization: every tenant departure and node failure
+//     re-evaluates the running jobs. A job whose clamped (degraded)
+//     configuration is no longer optimal grows into the freed capacity; a
+//     node failure shrinks the cluster view and can shrink configurations
+//     or force re-admission of jobs whose AM container died.
+//
+// A shared plan cache (opt.Cache) memoizes grid searches across tenants:
+// repeated programs over the same inputs under the same cluster view skip
+// compile-time optimization entirely, with hit results byte-identical to a
+// fresh search.
+package workload
+
+import (
+	"fmt"
+
+	"elasticml/internal/datagen"
+	"elasticml/internal/fault"
+	"elasticml/internal/hdfs"
+	"elasticml/internal/obs"
+	"elasticml/internal/scripts"
+)
+
+// JobSpec is one tenant's submission: an ML program plus its arrival time
+// in simulated seconds.
+//
+// Two kinds of jobs are supported. Scenario jobs (Script + Scenario) run
+// the paper's evaluation programs over descriptor inputs on the execution
+// simulator. Custom jobs (Source + Setup) run arbitrary DML with real
+// payloads in value mode, capturing written outputs and print streams —
+// the differential-fuzzing entry point.
+type JobSpec struct {
+	// Tenant names the submitting tenant in reports and traces.
+	Tenant string
+	// Script + Scenario describe a scenario job (used when Source == "").
+	Script   scripts.Spec
+	Scenario datagen.Scenario
+	// Arrival is the submission time in simulated seconds.
+	Arrival float64
+	// Source + Params + Setup describe a custom value-mode job. Setup must
+	// be deterministic; it stages input matrices on a fresh file system.
+	Source string
+	Params map[string]interface{}
+	Setup  func(fs *hdfs.FS)
+}
+
+// name returns the program name for reports.
+func (j JobSpec) name() string {
+	if j.Source != "" {
+		return "custom"
+	}
+	return j.Script.Name
+}
+
+// Options configure the service.
+type Options struct {
+	// Workers bounds the service's computation fan-out (parallel
+	// re-optimization checks and simulations) and is forwarded to the
+	// resource optimizer's task-parallel enumeration. 1 (or 0) is
+	// sequential; any value yields byte-identical reports.
+	Workers int
+	// CacheEntries is the shared plan cache capacity (0 = default 64,
+	// negative disables caching).
+	CacheEntries int
+	// Points is the optimizer's base grid resolution (0 = 7; the service
+	// favours responsiveness over exhaustive grids).
+	Points int
+	// OptCharge is the simulated seconds charged for a cold optimization
+	// at admission (default 5s, the order of Table 3's optimization
+	// times). Plan-cache hits charge HitCharge instead (default 0.05s),
+	// so caching shows up directly in tenant latency.
+	OptCharge float64
+	// HitCharge is the simulated seconds charged on a plan-cache hit.
+	HitCharge float64
+	// ReoptCharge is the simulated seconds charged to a running job when a
+	// service-level re-optimization actually changes its configuration
+	// (checks that keep the configuration are free — they are cache hits).
+	ReoptCharge float64
+	// RequeueCharge is the simulated seconds charged when a node failure
+	// kills a job's AM container and the job is re-admitted (state
+	// restore, paper §4.1).
+	RequeueCharge float64
+	// NodeFailures injects node losses at fixed simulated times.
+	NodeFailures []fault.NodeFailure
+	// SimTableCols is the label cardinality for table() in sim mode.
+	SimTableCols int64
+	// Trace, when non-nil, receives workload-layer spans (tenant queue and
+	// run spans, re-optimization and failure events) stamped with the
+	// service's simulated clock, plus workload.* metrics. All events are
+	// emitted by the event loop, never by pool workers, so traces are
+	// deterministic at any worker count.
+	Trace *obs.Tracer
+}
+
+// DefaultOptions returns the service defaults.
+func DefaultOptions() Options {
+	return Options{
+		Workers:       1,
+		Points:        7,
+		OptCharge:     5,
+		HitCharge:     0.05,
+		ReoptCharge:   1,
+		RequeueCharge: 2,
+		SimTableCols:  2,
+	}
+}
+
+// normalized fills zero-valued fields with defaults.
+func (o Options) normalized() Options {
+	d := DefaultOptions()
+	if o.Workers < 1 {
+		o.Workers = d.Workers
+	}
+	if o.Points <= 0 {
+		o.Points = d.Points
+	}
+	if o.OptCharge <= 0 {
+		o.OptCharge = d.OptCharge
+	}
+	if o.HitCharge <= 0 {
+		o.HitCharge = d.HitCharge
+	}
+	if o.ReoptCharge <= 0 {
+		o.ReoptCharge = d.ReoptCharge
+	}
+	if o.RequeueCharge <= 0 {
+		o.RequeueCharge = d.RequeueCharge
+	}
+	if o.SimTableCols <= 0 {
+		o.SimTableCols = d.SimTableCols
+	}
+	return o
+}
+
+// validate rejects degenerate job lists before the event loop starts.
+func validate(jobs []JobSpec, nodes int, failures []fault.NodeFailure) error {
+	if len(jobs) == 0 {
+		return fmt.Errorf("workload: empty job list")
+	}
+	for i, j := range jobs {
+		if j.Arrival < 0 {
+			return fmt.Errorf("workload: job %d (%s) has negative arrival %g", i, j.Tenant, j.Arrival)
+		}
+		if j.Source == "" && j.Script.Source == "" {
+			return fmt.Errorf("workload: job %d (%s) has neither a script nor a source", i, j.Tenant)
+		}
+	}
+	seen := map[int]bool{}
+	for _, nf := range failures {
+		if nf.Node < 0 || nf.Node >= nodes {
+			return fmt.Errorf("workload: node failure targets node %d of %d", nf.Node, nodes)
+		}
+		if nf.At < 0 {
+			return fmt.Errorf("workload: node failure at negative time %g", nf.At)
+		}
+		if seen[nf.Node] {
+			return fmt.Errorf("workload: node %d fails twice", nf.Node)
+		}
+		seen[nf.Node] = true
+	}
+	return nil
+}

@@ -383,6 +383,31 @@ func (rm *ResourceManager) AvailableMem() conf.Bytes {
 	return total
 }
 
+// MaxFreeChunk returns the largest contiguous free allocation any single
+// live node can currently grant — the upper bound on the next container
+// request, and the "currently free cluster slice" the workload service
+// clamps per-job optimization to.
+func (rm *ResourceManager) MaxFreeChunk() conf.Bytes {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return rm.maxFreeLocked()
+}
+
+// FreeOnNode returns the free memory on one live node (0 for a failed
+// node), used to decide whether a running application's container can grow
+// in place.
+func (rm *ResourceManager) FreeOnNode(node int) (conf.Bytes, error) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if node < 0 || node >= len(rm.freeMem) {
+		return 0, fmt.Errorf("%w: node %d of %d", ErrUnknownNode, node, len(rm.freeMem))
+	}
+	if rm.failed[node] {
+		return 0, nil
+	}
+	return rm.freeMem[node], nil
+}
+
 // AllocatedCount returns the number of live containers.
 func (rm *ResourceManager) AllocatedCount() int {
 	rm.mu.Lock()

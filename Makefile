@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-kernels race-workload check bench verify-corpus cover
+.PHONY: build test vet race race-kernels race-workload race-chaos check bench verify-corpus cover
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,13 @@ race-kernels:
 race-workload:
 	$(GO) test -race -count=2 ./internal/workload
 
-check: vet race race-kernels race-workload
+# The chaos layer under the race detector, doubled: correlated group
+# failures, flaps, straggler nodes, failure storms, checkpoint/restart with
+# retry budgets, and the circuit-breaker admission guard.
+race-chaos:
+	$(GO) test -race -count=2 -run 'Chaos|Breaker|Recovery|Checkpoint' ./internal/workload ./internal/bench
+
+check: vet race race-kernels race-workload race-chaos
 
 # Differential plan verification: the paper corpus plus a fixed-seed fuzz
 # stream, each program run under every resource configuration and against

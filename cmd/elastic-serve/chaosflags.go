@@ -1,0 +1,225 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"elasticml/internal/fault"
+	"elasticml/internal/mr"
+	"elasticml/internal/workload"
+)
+
+// chaosFlags holds the raw chaos/recovery flag values before parsing.
+type chaosFlags struct {
+	groups, flaps, slow, storm string
+	seed                       int64
+	recovery                   string
+	maxRetries                 int
+	breaker                    string
+	noSpeculation              bool
+}
+
+// applyChaosFlags parses the chaos and policy flags into the run options.
+// Flag grammars (all times in simulated seconds):
+//
+//	-chaos-group 2+3@40:15     nodes 2 and 3 fail at 40s, restore after 15s
+//	-chaos-flap  1@70:5        node 1 fails at 70s, returns after 5s
+//	-chaos-slow  0@25x3:30     node 0 runs 3x slower from 25s for 30s
+//	-chaos-storm 55:5:30:6     30 losses from 55s, mean gap 5s, recover 6s
+//
+// Group/flap/slow flags accept comma-separated lists.
+func applyChaosFlags(o *workload.Options, cf chaosFlags) error {
+	for _, part := range splitList(cf.groups) {
+		g, err := parseGroup(part)
+		if err != nil {
+			return fmt.Errorf("bad -chaos-group entry %q: %v", part, err)
+		}
+		o.Chaos.Groups = append(o.Chaos.Groups, g)
+	}
+	for _, part := range splitList(cf.flaps) {
+		f, err := parseFlap(part)
+		if err != nil {
+			return fmt.Errorf("bad -chaos-flap entry %q: %v", part, err)
+		}
+		o.Chaos.Flaps = append(o.Chaos.Flaps, f)
+	}
+	for _, part := range splitList(cf.slow) {
+		sn, err := parseSlow(part)
+		if err != nil {
+			return fmt.Errorf("bad -chaos-slow entry %q: %v", part, err)
+		}
+		o.Chaos.SlowNodes = append(o.Chaos.SlowNodes, sn)
+	}
+	if cf.storm != "" {
+		st, err := parseStorm(cf.storm)
+		if err != nil {
+			return fmt.Errorf("bad -chaos-storm %q: %v", cf.storm, err)
+		}
+		o.Chaos.Storm = &st
+	}
+	o.Chaos.Seed = cf.seed
+
+	switch cf.recovery {
+	case "", "checkpoint":
+		o.Recovery.Kind = workload.RecoveryCheckpoint
+	case "naive":
+		o.Recovery.Kind = workload.RecoveryNaive
+	default:
+		return fmt.Errorf("bad -recovery %q (want checkpoint or naive)", cf.recovery)
+	}
+	if cf.maxRetries != 0 {
+		if cf.maxRetries < 0 {
+			return fmt.Errorf("bad -max-retries %d (must be positive)", cf.maxRetries)
+		}
+		o.Recovery.MaxRetries = cf.maxRetries
+	}
+
+	switch cf.breaker {
+	case "", "off":
+	case "degrade", "shed":
+		o.Breaker = workload.DefaultBreakerPolicy()
+		o.Breaker.Enabled = true
+		o.Breaker.Shed = cf.breaker == "shed"
+	default:
+		return fmt.Errorf("bad -breaker %q (want off, degrade, or shed)", cf.breaker)
+	}
+
+	o.TaskPolicy = mr.DefaultTaskPolicy()
+	if cf.noSpeculation {
+		o.TaskPolicy.Speculative = false
+	}
+	return nil
+}
+
+// splitList splits a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseGroup parses "2+3@40:15" — '+'-joined nodes, at-time, restore-after.
+func parseGroup(s string) (fault.GroupFailure, error) {
+	var g fault.GroupFailure
+	nodesPart, timePart, ok := strings.Cut(s, "@")
+	if !ok {
+		return g, fmt.Errorf("want nodes@at:restore")
+	}
+	for _, ns := range strings.Split(nodesPart, "+") {
+		n, err := strconv.Atoi(ns)
+		if err != nil {
+			return g, fmt.Errorf("bad node %q", ns)
+		}
+		g.Nodes = append(g.Nodes, n)
+	}
+	at, restore, err := parseTimePair(timePart)
+	if err != nil {
+		return g, err
+	}
+	g.At, g.RestoreAfter = at, restore
+	return g, nil
+}
+
+// parseFlap parses "1@70:5" — node, at-time, restore-after.
+func parseFlap(s string) (fault.Flap, error) {
+	var f fault.Flap
+	nodePart, timePart, ok := strings.Cut(s, "@")
+	if !ok {
+		return f, fmt.Errorf("want node@at:restore")
+	}
+	n, err := strconv.Atoi(nodePart)
+	if err != nil {
+		return f, fmt.Errorf("bad node %q", nodePart)
+	}
+	at, restore, err := parseTimePair(timePart)
+	if err != nil {
+		return f, err
+	}
+	if restore <= 0 {
+		return f, fmt.Errorf("flap needs restore > 0")
+	}
+	f.Node, f.At, f.RestoreAfter = n, at, restore
+	return f, nil
+}
+
+// parseSlow parses "0@25x3:30" — node, at-time, slowdown factor, duration
+// (":duration" optional; omitted = slow for the rest of the run).
+func parseSlow(s string) (fault.SlowNode, error) {
+	var sn fault.SlowNode
+	nodePart, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return sn, fmt.Errorf("want node@at x factor[:duration]")
+	}
+	n, err := strconv.Atoi(nodePart)
+	if err != nil {
+		return sn, fmt.Errorf("bad node %q", nodePart)
+	}
+	atPart, factorPart, ok := strings.Cut(rest, "x")
+	if !ok {
+		return sn, fmt.Errorf("want node@at x factor[:duration]")
+	}
+	at, err := strconv.ParseFloat(atPart, 64)
+	if err != nil {
+		return sn, fmt.Errorf("bad time %q", atPart)
+	}
+	fPart, dPart, hasDur := strings.Cut(factorPart, ":")
+	factor, err := strconv.ParseFloat(fPart, 64)
+	if err != nil {
+		return sn, fmt.Errorf("bad factor %q", fPart)
+	}
+	var dur float64
+	if hasDur {
+		if dur, err = strconv.ParseFloat(dPart, 64); err != nil {
+			return sn, fmt.Errorf("bad duration %q", dPart)
+		}
+	}
+	sn.Node, sn.At, sn.Factor, sn.Duration = n, at, factor, dur
+	return sn, nil
+}
+
+// parseStorm parses "start:gap:failures:recover" (recover optional).
+func parseStorm(s string) (fault.Storm, error) {
+	var st fault.Storm
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 && len(parts) != 4 {
+		return st, fmt.Errorf("want start:gap:failures[:recover]")
+	}
+	var err error
+	if st.Start, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return st, fmt.Errorf("bad start %q", parts[0])
+	}
+	if st.MeanGap, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return st, fmt.Errorf("bad gap %q", parts[1])
+	}
+	if st.Failures, err = strconv.Atoi(parts[2]); err != nil {
+		return st, fmt.Errorf("bad failure count %q", parts[2])
+	}
+	if len(parts) == 4 {
+		if st.Recover, err = strconv.ParseFloat(parts[3], 64); err != nil {
+			return st, fmt.Errorf("bad recover %q", parts[3])
+		}
+	}
+	return st, nil
+}
+
+// parseTimePair parses "at:restore" (":restore" optional, defaults to 0).
+func parseTimePair(s string) (at, restore float64, err error) {
+	atPart, restPart, hasRestore := strings.Cut(s, ":")
+	if at, err = strconv.ParseFloat(atPart, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad time %q", atPart)
+	}
+	if hasRestore {
+		if restore, err = strconv.ParseFloat(restPart, 64); err != nil {
+			return 0, 0, fmt.Errorf("bad restore %q", restPart)
+		}
+	}
+	return at, restore, nil
+}

@@ -15,6 +15,8 @@
 //	elastic-serve -tenants 24 -seed 7 -mean-gap 2 -workers 4
 //	elastic-serve -node-fail 1@25 -json report.json -trace trace.json
 //	elastic-serve -scenario workload.json -nodes 4 -node-mem 8GB
+//	elastic-serve -nodes 4 -chaos-group 2+3@30:40 -chaos-storm 55:5:30:6 \
+//	    -recovery checkpoint -max-retries 5 -breaker shed
 package main
 
 import (
@@ -47,7 +49,18 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the JSON report to this file ('-' for stdout)")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file")
 		metrics  = flag.Bool("metrics", false, "print the workload metrics registry")
+
+		cf chaosFlags
 	)
+	flag.StringVar(&cf.groups, "chaos-group", "", "correlated group losses, e.g. 2+3@40:15 (nodes@seconds:restore-after)")
+	flag.StringVar(&cf.flaps, "chaos-flap", "", "transient node flaps, e.g. 1@70:5 (node@seconds:restore-after)")
+	flag.StringVar(&cf.slow, "chaos-slow", "", "straggler episodes, e.g. 0@25x3:30 (node@seconds x factor:duration)")
+	flag.StringVar(&cf.storm, "chaos-storm", "", "failure storm, e.g. 55:5:30:6 (start:mean-gap:failures:recover)")
+	flag.Int64Var(&cf.seed, "chaos-seed", 0, "seed for the failure storm's victim and gap draws")
+	flag.StringVar(&cf.recovery, "recovery", "checkpoint", "recovery policy: checkpoint or naive")
+	flag.IntVar(&cf.maxRetries, "max-retries", 0, "per-job retry budget (0 = default 3)")
+	flag.StringVar(&cf.breaker, "breaker", "off", "circuit-breaker admission guard: off, degrade, or shed")
+	flag.BoolVar(&cf.noSpeculation, "no-speculation", false, "disable straggler speculation (uncapped slow-node stretch)")
 	flag.Parse()
 	out := &obs.ErrWriter{W: os.Stdout}
 
@@ -98,6 +111,10 @@ func main() {
 			}
 			o.NodeFailures = append(o.NodeFailures, fault.NodeFailure{Node: node, At: at})
 		}
+	}
+	if err := applyChaosFlags(&o, cf); err != nil {
+		fmt.Fprintln(os.Stderr, "elastic-serve:", err)
+		os.Exit(2)
 	}
 	var tr *obs.Tracer
 	if *traceOut != "" || *metrics {

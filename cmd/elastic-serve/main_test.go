@@ -174,3 +174,101 @@ func TestTraceOutput(t *testing.T) {
 		t.Error("trace missing workload layer events")
 	}
 }
+
+// chaosArgs is the canonical chaos invocation shared by the CLI tests and
+// mirrored by the CI chaos-determinism gate.
+func chaosArgs(workers, jsonPath, tracePath string) []string {
+	args := []string{
+		"-tenants", "12", "-nodes", "4",
+		"-chaos-group", "2+3@30:40",
+		"-chaos-flap", "1@45:6",
+		"-chaos-slow", "0@15x3:25",
+		"-chaos-storm", "55:5:12:6",
+		"-chaos-seed", "42",
+		"-recovery", "checkpoint", "-max-retries", "5",
+		"-breaker", "degrade",
+		"-workers", workers,
+	}
+	if jsonPath != "" {
+		args = append(args, "-json", jsonPath)
+	}
+	if tracePath != "" {
+		args = append(args, "-trace", tracePath)
+	}
+	return args
+}
+
+// TestChaosFlagsRun exercises every chaos regime plus the recovery and
+// breaker policies through the CLI and checks the chaos summary line.
+func TestChaosFlagsRun(t *testing.T) {
+	out, errOut, code := run(t, chaosArgs("1", "", "")...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"chaos:", "node restores", "wasted work", "breaker:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos run missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChaosDeterministicReports mirrors the CI chaos gate: the full chaos
+// stack produces byte-identical reports and traces at any -workers value.
+func TestChaosDeterministicReports(t *testing.T) {
+	ja := filepath.Join(tmpDir, "chaos-a.json")
+	jb := filepath.Join(tmpDir, "chaos-b.json")
+	ta := filepath.Join(tmpDir, "chaos-a-trace.json")
+	tb := filepath.Join(tmpDir, "chaos-b-trace.json")
+	if _, errOut, code := run(t, chaosArgs("1", ja, ta)...); code != 0 {
+		t.Fatalf("run a: exit %d: %s", code, errOut)
+	}
+	if _, errOut, code := run(t, chaosArgs("4", jb, tb)...); code != 0 {
+		t.Fatalf("run b: exit %d: %s", code, errOut)
+	}
+	for _, pair := range [][2]string{{ja, jb}, {ta, tb}} {
+		ab, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ab) == 0 {
+			t.Errorf("%s empty", pair[0])
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Errorf("%s and %s differ between -workers 1 and -workers 4", pair[0], pair[1])
+		}
+	}
+}
+
+// TestNaiveRecoveryRuns checks the alternate policy spellings parse and run.
+func TestNaiveRecoveryRuns(t *testing.T) {
+	_, errOut, code := run(t, "-tenants", "4", "-recovery", "naive", "-breaker", "shed", "-no-speculation")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+}
+
+// TestBadChaosFlags rejects malformed chaos grammars and unknown policies.
+func TestBadChaosFlags(t *testing.T) {
+	cases := [][]string{
+		{"-chaos-group", "zap"},
+		{"-chaos-group", "1+x@5:1"},
+		{"-chaos-flap", "1@45"},        // flap needs restore > 0
+		{"-chaos-flap", "9@45:6"},      // node out of range (2-node default)
+		{"-chaos-slow", "0@15"},        // missing factor
+		{"-chaos-slow", "0@15x0.5:10"}, // factor < 1 rejected by validation
+		{"-chaos-storm", "55:5"},
+		{"-chaos-storm", "a:b:c"},
+		{"-recovery", "hope"},
+		{"-max-retries", "-2"},
+		{"-breaker", "sometimes"},
+	}
+	for _, args := range cases {
+		if _, _, code := run(t, args...); code == 0 {
+			t.Errorf("%v: want non-zero exit", args)
+		}
+	}
+}

@@ -31,6 +31,7 @@ func (r *Runner) Experiments() []struct {
 		{"ablations", r.Ablations},
 		{"failures", r.FailureSweep},
 		{"workload", r.Workload},
+		{"chaos", r.Chaos},
 	}
 }
 

@@ -1,0 +1,186 @@
+package bench
+
+// Chaos sweep (experiment "chaos"): the elastic service under a correlated
+// failure regime — a rack-scoped group loss, a transient flap, a straggler
+// node, and a recovering failure storm — comparing recovery policies over
+// the identical chaos schedule: naive front-requeue (restart from scratch,
+// unbounded progress loss), checkpoint/restart with a bounded retry budget,
+// and checkpoint/restart behind the circuit-breaker admission guard in both
+// degrade and shed modes. Not a paper figure — it measures the robustness
+// trajectory the recovery engine exists for: terminal-failure rate, p95
+// tenant and admission latency, and wasted simulated work. The row set is
+// written to BENCH_chaos.json; everything is simulated time, so the
+// artifact is byte-identical across runs and -workers counts.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/fault"
+	"elasticml/internal/mr"
+	"elasticml/internal/workload"
+)
+
+// ChaosRow is one (tenant count, policy) summary, as serialized into
+// BENCH_chaos.json.
+type ChaosRow struct {
+	Tenants int    `json:"tenants"`
+	Policy  string `json:"policy"`
+
+	Served            int     `json:"served"`
+	FailedPermanently int     `json:"failed_permanently"`
+	Shed              int     `json:"shed"`
+	Unserved          int     `json:"unserved"`
+	TerminalFailRate  float64 `json:"terminal_failure_rate"`
+
+	P95Latency    float64 `json:"p95_latency"`
+	P95QueueDelay float64 `json:"p95_queue_delay"`
+	Makespan      float64 `json:"makespan"`
+
+	WastedWork   float64 `json:"wasted_work"`
+	Requeues     int     `json:"requeues"`
+	NodeFailures int     `json:"node_failures"`
+	NodeRestores int     `json:"node_restores"`
+	BreakerTrips int     `json:"breaker_trips"`
+	Degraded     int     `json:"breaker_degraded"`
+	Utilization  float64 `json:"utilization"`
+}
+
+// chaosCluster spreads four nodes so correlated group losses leave
+// survivors to fail over to.
+func chaosCluster() conf.Cluster {
+	cc := conf.DefaultCluster()
+	cc.Nodes = 4
+	cc.MemPerNode = 2 * conf.GB
+	cc.MaxAlloc = 2 * conf.GB
+	return cc
+}
+
+// chaosSchedule is the shared failure regime every policy faces: all four
+// chaos shapes at once, dense enough that long-running tenants are
+// interrupted repeatedly.
+func chaosSchedule() fault.ChaosPlan {
+	return fault.ChaosPlan{
+		Seed:   workloadSeed,
+		Groups: []fault.GroupFailure{{Nodes: []int{2, 3}, At: 30, RestoreAfter: 40}},
+		Flaps: []fault.Flap{
+			{Node: 1, At: 45, RestoreAfter: 6},
+			{Node: 0, At: 85, RestoreAfter: 6},
+		},
+		SlowNodes: []fault.SlowNode{{Node: 0, At: 15, Factor: 3, Duration: 25}},
+		Storm:     &fault.Storm{Start: 55, MeanGap: 5, Failures: 30, Recover: 6},
+	}
+}
+
+// chaosPolicy is one compared recovery configuration.
+type chaosPolicy struct {
+	name     string
+	recovery workload.RecoveryPolicy
+	breaker  workload.BreakerPolicy
+}
+
+func chaosPolicies() []chaosPolicy {
+	ck := workload.DefaultRecoveryPolicy()
+	nv := ck
+	nv.Kind = workload.RecoveryNaive
+	br := workload.DefaultBreakerPolicy()
+	br.Enabled = true
+	shed := br
+	shed.Shed = true
+	return []chaosPolicy{
+		{name: "naive", recovery: nv},
+		{name: "checkpoint", recovery: ck},
+		{name: "breaker-degrade", recovery: ck, breaker: br},
+		{name: "breaker-shed", recovery: ck, breaker: shed},
+	}
+}
+
+// Chaos (experiment "chaos") sweeps the recovery policies and writes
+// BENCH_chaos.json next to the report.
+func (r *Runner) Chaos() error {
+	tenantCounts := []int{16, 32}
+	if r.Quick {
+		tenantCounts = []int{16}
+	}
+	cc := chaosCluster()
+	plan := chaosSchedule()
+
+	r.printf("Chaos recovery sweep: %d-node cluster, %s/node, seed %d\n",
+		cc.Nodes, cc.MemPerNode, workloadSeed)
+	r.printf("chaos: 1 group loss, 2 flaps, 1 straggler node, 30-loss storm (all recovering)\n")
+	r.printf("%8s %-16s %7s %7s %5s %8s %9s %10s %10s %7s %7s\n",
+		"tenants", "policy", "served", "failed", "shed", "term%", "p95[s]", "p95adm[s]", "waste[s]", "requeue", "trips")
+
+	var rows []ChaosRow
+	for _, n := range tenantCounts {
+		jobs := workload.Generate(workloadSeed, n, 3)
+		for _, pol := range chaosPolicies() {
+			o := workload.DefaultOptions()
+			o.Chaos = plan
+			o.Recovery = pol.recovery
+			o.Breaker = pol.breaker
+			o.TaskPolicy = mr.DefaultTaskPolicy()
+			rep, err := workload.Run(cc, jobs, o)
+			if err != nil {
+				return err
+			}
+			served := 0
+			for _, tn := range rep.Tenants {
+				if tn.Served {
+					served++
+				}
+			}
+			row := ChaosRow{
+				Tenants:           n,
+				Policy:            pol.name,
+				Served:            served,
+				FailedPermanently: rep.FailedPermanently,
+				Shed:              rep.Shed,
+				Unserved:          rep.Unserved,
+				TerminalFailRate:  float64(rep.FailedPermanently) / float64(n),
+				P95Latency:        rep.P95Latency,
+				P95QueueDelay:     rep.P95QueueDelay,
+				Makespan:          rep.Makespan,
+				WastedWork:        rep.WastedWork,
+				Requeues:          rep.Requeues,
+				NodeFailures:      rep.NodeFailures,
+				NodeRestores:      rep.NodeRestores,
+				BreakerTrips:      rep.BreakerTrips,
+				Degraded:          rep.BreakerDegraded,
+				Utilization:       rep.Utilization,
+			}
+			rows = append(rows, row)
+			r.printf("%8d %-16s %7d %7d %5d %7.0f%% %9.1f %10.1f %10.1f %7d %7d\n",
+				n, row.Policy, row.Served, row.FailedPermanently, row.Shed,
+				100*row.TerminalFailRate, row.P95Latency, row.P95QueueDelay,
+				row.WastedWork, row.Requeues, row.BreakerTrips)
+		}
+	}
+	r.printf("\n")
+
+	path := filepath.Join(r.ArtifactDir, "BENCH_chaos.json")
+	if err := writeChaosJSON(path, rows); err != nil {
+		return err
+	}
+	r.printf("wrote %s (%d rows)\n", path, len(rows))
+	return nil
+}
+
+// writeChaosJSON serializes the sweep rows with stable formatting.
+func writeChaosJSON(path string, rows []ChaosRow) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Rows []ChaosRow `json:"rows"`
+	}{rows}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runChaosSweep executes the chaos sweep in quick mode and returns the
+// artifact bytes and parsed rows.
+func runChaosSweep(t *testing.T) ([]byte, []ChaosRow) {
+	t.Helper()
+	dir := t.TempDir()
+	var sb strings.Builder
+	r := New(&sb)
+	r.Quick = true
+	r.ArtifactDir = dir
+	if err := r.Chaos(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"policy", "waste[s]", "p95adm[s]", "wrote"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_chaos.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Rows []ChaosRow `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bad artifact JSON: %v", err)
+	}
+	return data, doc.Rows
+}
+
+// TestChaosSweepTrajectory pins the acceptance comparison: under the
+// identical correlated-failure schedule, checkpoint/restart completes
+// strictly more jobs with strictly less wasted simulated work than naive
+// requeue, and the breaker policies bound p95 admission latency while
+// actually tripping.
+func TestChaosSweepTrajectory(t *testing.T) {
+	_, rows := runChaosSweep(t)
+	// Quick mode: one tenant count x four policies.
+	if len(rows) != 4 {
+		t.Fatalf("want 4 sweep rows, got %d", len(rows))
+	}
+	byPolicy := map[string]ChaosRow{}
+	for _, row := range rows {
+		byPolicy[row.Policy] = row
+		if row.NodeFailures < 3 || row.NodeRestores < 3 {
+			t.Errorf("%s: chaos too quiet: %d failures, %d restores", row.Policy, row.NodeFailures, row.NodeRestores)
+		}
+		if row.Requeues < 1 {
+			t.Errorf("%s: no requeues under the storm", row.Policy)
+		}
+		if row.Utilization <= 0 || row.Utilization > 1 {
+			t.Errorf("%s: utilization %v out of range", row.Policy, row.Utilization)
+		}
+	}
+	nv, ck := byPolicy["naive"], byPolicy["checkpoint"]
+	if ck.Served <= nv.Served {
+		t.Errorf("checkpoint served %d, naive %d — want strictly more", ck.Served, nv.Served)
+	}
+	if ck.WastedWork >= nv.WastedWork {
+		t.Errorf("checkpoint wasted %.1fs, naive %.1fs — want strictly less", ck.WastedWork, nv.WastedWork)
+	}
+	if ck.FailedPermanently > nv.FailedPermanently {
+		t.Errorf("checkpoint terminal failures %d exceed naive's %d", ck.FailedPermanently, nv.FailedPermanently)
+	}
+	for _, name := range []string{"breaker-degrade", "breaker-shed"} {
+		br := byPolicy[name]
+		if br.BreakerTrips < 1 {
+			t.Errorf("%s: breaker never tripped under the storm", name)
+		}
+		if br.P95QueueDelay > ck.P95QueueDelay {
+			t.Errorf("%s: p95 admission %.1fs exceeds breaker-off %.1fs — breaker must bound admission latency",
+				name, br.P95QueueDelay, ck.P95QueueDelay)
+		}
+	}
+	if byPolicy["breaker-shed"].Shed < 1 {
+		t.Error("shed-mode breaker shed nothing during the outage")
+	}
+}
+
+// TestChaosSweepDeterministic: the artifact is byte-identical across runs
+// — the chaos gate's in-process counterpart.
+func TestChaosSweepDeterministic(t *testing.T) {
+	a, _ := runChaosSweep(t)
+	b, _ := runChaosSweep(t)
+	if !bytes.Equal(a, b) {
+		t.Error("BENCH_chaos.json differs between identical runs")
+	}
+}

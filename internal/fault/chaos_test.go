@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestChaosPlanEnabled(t *testing.T) {
+	if (ChaosPlan{}).Enabled() {
+		t.Error("zero plan reports enabled")
+	}
+	cases := []ChaosPlan{
+		{Groups: []GroupFailure{{Nodes: []int{0, 1}, At: 5}}},
+		{Flaps: []Flap{{Node: 0, At: 5, RestoreAfter: 10}}},
+		{SlowNodes: []SlowNode{{Node: 0, At: 5, Factor: 2}}},
+		{Storm: &Storm{Start: 1, MeanGap: 5, Failures: 3}},
+	}
+	for i, p := range cases {
+		if !p.Enabled() {
+			t.Errorf("case %d: plan not enabled", i)
+		}
+	}
+	if (ChaosPlan{Storm: &Storm{Start: 1, MeanGap: 5}}).Enabled() {
+		t.Error("zero-failure storm reports enabled")
+	}
+}
+
+func TestChaosPlanValidate(t *testing.T) {
+	good := ChaosPlan{
+		Groups:    []GroupFailure{{Nodes: []int{0, 1}, At: 5, RestoreAfter: 20}},
+		Flaps:     []Flap{{Node: 2, At: 10, RestoreAfter: 5}},
+		SlowNodes: []SlowNode{{Node: 1, At: 3, Factor: 4, Duration: 15}},
+		Storm:     &Storm{Start: 20, MeanGap: 8, Failures: 2, Recover: 10},
+	}
+	if err := good.Validate(3); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := []ChaosPlan{
+		{Groups: []GroupFailure{{Nodes: nil, At: 5}}},
+		{Groups: []GroupFailure{{Nodes: []int{0, 0}, At: 5}}},
+		{Groups: []GroupFailure{{Nodes: []int{7}, At: 5}}},
+		{Groups: []GroupFailure{{Nodes: []int{0}, At: -1}}},
+		{Flaps: []Flap{{Node: 0, At: 5, RestoreAfter: 0}}},
+		{Flaps: []Flap{{Node: -1, At: 5, RestoreAfter: 1}}},
+		{SlowNodes: []SlowNode{{Node: 0, At: 5, Factor: 0.5}}},
+		{SlowNodes: []SlowNode{{Node: 0, At: -5, Factor: 2}}},
+		{Storm: &Storm{Start: 5, MeanGap: 0, Failures: 2}},
+		{Storm: &Storm{Start: -5, MeanGap: 1, Failures: 2}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(3); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+// TestChaosEventsDeterministic: expansion is a pure function of the plan
+// and node count — two expansions are deeply equal, and a different seed
+// moves the storm.
+func TestChaosEventsDeterministic(t *testing.T) {
+	p := ChaosPlan{
+		Seed:  7,
+		Flaps: []Flap{{Node: 1, At: 10, RestoreAfter: 5}},
+		Storm: &Storm{Start: 20, MeanGap: 6, Failures: 4, Recover: 9},
+	}
+	a, b := p.Events(4), p.Events(4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same plan expanded differently:\n%v\n%v", a, b)
+	}
+	q := p
+	q.Seed = 8
+	c := q.Events(4)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different storm seeds produced identical schedules")
+	}
+}
+
+// TestChaosEventsShape: the expansion covers every declared regime with
+// sorted delivery times and paired down/up events.
+func TestChaosEventsShape(t *testing.T) {
+	p := ChaosPlan{
+		Seed:      42,
+		Groups:    []GroupFailure{{Nodes: []int{2, 0}, At: 5, RestoreAfter: 30}},
+		Flaps:     []Flap{{Node: 1, At: 12, RestoreAfter: 6}},
+		SlowNodes: []SlowNode{{Node: 3, At: 8, Factor: 3, Duration: 10}},
+		Storm:     &Storm{Start: 25, MeanGap: 5, Failures: 3, Recover: 7},
+	}
+	evs := p.Events(4)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events not time-sorted: %v after %v", evs[i], evs[i-1])
+		}
+	}
+	downs, ups, slows, fasts := 0, 0, 0, 0
+	for _, ev := range evs {
+		switch ev.Kind {
+		case NodeDown:
+			downs++
+			for _, n := range ev.Nodes {
+				if n < 0 || n >= 4 {
+					t.Errorf("down event targets node %d of 4", n)
+				}
+			}
+		case NodeUp:
+			ups++
+		case NodeSlow:
+			slows++
+			if ev.Factor != 3 {
+				t.Errorf("slow factor %g, want 3", ev.Factor)
+			}
+		case NodeFast:
+			fasts++
+		}
+	}
+	// 1 group + 1 flap + 3 storm downs; each paired with an up.
+	if downs != 5 || ups != 5 {
+		t.Errorf("want 5 downs / 5 ups, got %d / %d", downs, ups)
+	}
+	if slows != 1 || fasts != 1 {
+		t.Errorf("want 1 slow / 1 fast, got %d / %d", slows, fasts)
+	}
+	// The group's nodes come out sorted regardless of declaration order.
+	if got := evs[0].Nodes; !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("group nodes %v, want [0 2]", got)
+	}
+	if evs[0].Cause != "group" {
+		t.Errorf("group cause %q", evs[0].Cause)
+	}
+}

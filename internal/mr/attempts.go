@@ -46,6 +46,25 @@ func (p TaskPolicy) Normalized() TaskPolicy {
 	return p
 }
 
+// EffectiveSlowdown returns the slowdown a straggling task (or every task
+// of a straggling node) actually experiences under the policy, and whether
+// speculative backups softened it. With speculation on, backups cap the
+// factor at SpeculativeCap — the backup still re-runs part of the work, so
+// the cap stays > 1. This is the single place the speculation arithmetic
+// lives; the per-attempt model below and the workload service's slow-node
+// handling both consult it so node-level stragglers and task-level
+// stragglers degrade identically.
+func EffectiveSlowdown(factor float64, pol TaskPolicy) (float64, bool) {
+	if factor < 1 {
+		return 1, false
+	}
+	pol = pol.Normalized()
+	if pol.Speculative && factor > pol.SpeculativeCap {
+		return pol.SpeculativeCap, true
+	}
+	return factor, false
+}
+
 // TaskReport summarizes the per-task fault activity of one job.
 type TaskReport struct {
 	// Tasks is the number of tasks sampled (maps plus reducers).
@@ -147,11 +166,9 @@ func EstimateTimeUnderFaultsTraced(pm perf.Model, cc conf.Cluster, spec JobSpec,
 			}
 			if factor, ok := inj.Straggles(); ok {
 				rep.Stragglers++
-				speculated := false
-				if pol.Speculative && factor > pol.SpeculativeCap {
-					factor = pol.SpeculativeCap
+				factor, speculated := EffectiveSlowdown(factor, pol)
+				if speculated {
 					rep.Speculated++
-					speculated = true
 				}
 				stragglerTail += perTask * (factor - 1)
 				if traced {

@@ -1,0 +1,145 @@
+package workload
+
+import "testing"
+
+// TestBreakerLifecycle walks the full state machine: closed → open on the
+// failure threshold → half-open after the cooldown → closed after enough
+// probe successes, with the sliding window dropping stale events.
+func TestBreakerLifecycle(t *testing.T) {
+	pol := BreakerPolicy{Enabled: true, Window: 10, FailureThreshold: 2,
+		ChurnThreshold: 3, Cooldown: 5, HalfOpenProbes: 2}
+	b := newBreaker(pol)
+
+	if g := b.gate(0); g != gateAdmit {
+		t.Fatalf("fresh breaker gate = %v, want admit", g)
+	}
+	b.recordFailure(1)
+	if b.state != bkClosed {
+		t.Fatalf("one failure should not trip (threshold 2), state %v", b.state)
+	}
+	b.recordFailure(2)
+	if b.state != bkOpen || b.trips != 1 {
+		t.Fatalf("two failures in window should trip: state %v trips %d", b.state, b.trips)
+	}
+	if g := b.gate(3); g != gateDegrade {
+		t.Errorf("open breaker (Shed=false) gate = %v, want degrade", g)
+	}
+	// Cooldown expires at openedAt+5 = 7.
+	if g := b.gate(6.9); g != gateDegrade {
+		t.Errorf("gate before cooldown = %v, want degrade", g)
+	}
+	if g := b.gate(7); g != gateAdmit || b.state != bkHalfOpen {
+		t.Fatalf("cooldown should half-open: gate %v state %v", g, b.state)
+	}
+	b.admitted(7)
+	if b.state != bkHalfOpen {
+		t.Fatalf("one probe of two should stay half-open, state %v", b.state)
+	}
+	b.admitted(8)
+	if b.state != bkClosed {
+		t.Fatalf("two probes should close, state %v", b.state)
+	}
+	if len(b.failures) != 0 || len(b.churn) != 0 {
+		t.Error("closing should clear the windows")
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens: a failure while half-open re-opens
+// immediately and counts as a fresh trip.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	pol := BreakerPolicy{Enabled: true, Window: 10, FailureThreshold: 1,
+		ChurnThreshold: 100, Cooldown: 5, HalfOpenProbes: 2}
+	b := newBreaker(pol)
+	b.recordFailure(0)
+	if b.state != bkOpen {
+		t.Fatal("threshold 1 should trip on the first failure")
+	}
+	b.gate(5) // half-opens
+	if b.state != bkHalfOpen {
+		t.Fatalf("state %v, want half-open", b.state)
+	}
+	b.recordFailure(6)
+	if b.state != bkOpen || b.openedAt != 6 || b.trips != 2 {
+		t.Errorf("half-open failure should re-open at 6: state %v openedAt %g trips %d",
+			b.state, b.openedAt, b.trips)
+	}
+}
+
+// TestBreakerChurnTrips: re-optimization churn alone opens the breaker,
+// and window expiry forgets old churn.
+func TestBreakerChurnTrips(t *testing.T) {
+	pol := BreakerPolicy{Enabled: true, Window: 10, FailureThreshold: 100,
+		ChurnThreshold: 2, Cooldown: 5, HalfOpenProbes: 1, Shed: true}
+	b := newBreaker(pol)
+	b.recordChurn(0)
+	b.recordChurn(20) // the t=0 event left the window
+	if b.state != bkClosed {
+		t.Fatalf("stale churn should not count, state %v", b.state)
+	}
+	b.recordChurn(21)
+	if b.state != bkOpen {
+		t.Fatal("two churn events in window should trip")
+	}
+	if g := b.gate(22); g != gateShed {
+		t.Errorf("open breaker (Shed=true) gate = %v, want shed", g)
+	}
+}
+
+// TestBreakerNilSafe: a disabled policy yields a nil breaker whose methods
+// all no-op.
+func TestBreakerNilSafe(t *testing.T) {
+	b := newBreaker(BreakerPolicy{})
+	if b != nil {
+		t.Fatal("disabled policy should yield a nil breaker")
+	}
+	b.recordFailure(1)
+	b.recordChurn(1)
+	b.admitted(1)
+	if g := b.gate(1); g != gateAdmit {
+		t.Errorf("nil breaker gate = %v, want admit", g)
+	}
+	if b.tripCount() != 0 {
+		t.Error("nil breaker trip count != 0")
+	}
+}
+
+// TestRecoveryBackoff: exponential growth in simulated time, capped.
+func TestRecoveryBackoff(t *testing.T) {
+	p := DefaultRecoveryPolicy() // 2s, x2, cap 30
+	want := []float64{2, 4, 8, 16, 30, 30}
+	for i, w := range want {
+		if got := p.backoffDelay(i + 1); got != w {
+			t.Errorf("backoffDelay(%d) = %g, want %g", i+1, got, w)
+		}
+	}
+	if got := p.backoffDelay(0); got != 2 {
+		t.Errorf("backoffDelay(0) = %g, want clamp to first retry", got)
+	}
+}
+
+// TestCheckpointFrac: block-boundary flooring, monotonicity against the
+// previous checkpoint, and the naive policy's hard zero.
+func TestCheckpointFrac(t *testing.T) {
+	ck := RecoveryPolicy{Kind: RecoveryCheckpoint}
+	cases := []struct {
+		done, prev float64
+		blocks     int
+		want       float64
+	}{
+		{0.37, 0, 10, 0.3},     // floor to the block boundary
+		{0.37, 0.35, 10, 0.35}, // never regress below the previous checkpoint
+		{0.99, 0, 4, 0.75},
+		{1.0, 0, 4, 1.0},
+		{0.5, 0, 0, 0},  // degenerate block count clamps to 1 block
+		{1.5, 0, 10, 1}, // overshoot clamps to 1
+	}
+	for _, c := range cases {
+		if got := ck.checkpointFrac(c.done, c.prev, c.blocks); got != c.want {
+			t.Errorf("checkpointFrac(%g, %g, %d) = %g, want %g", c.done, c.prev, c.blocks, got, c.want)
+		}
+	}
+	nv := RecoveryPolicy{Kind: RecoveryNaive}
+	if got := nv.checkpointFrac(0.9, 0.5, 10); got != 0 {
+		t.Errorf("naive checkpointFrac = %g, want 0", got)
+	}
+}

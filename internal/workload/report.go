@@ -23,7 +23,10 @@ type TenantResult struct {
 	Arrival  float64 `json:"arrival"`
 	Admitted float64 `json:"admitted"`
 	Finished float64 `json:"finished"`
-	// QueueDelay = Admitted - Arrival; Latency = Finished - Arrival.
+	// QueueDelay is the wait from arrival to the FIRST admission (the
+	// admission latency the circuit breaker bounds); Admitted tracks the
+	// latest admission when failures forced re-admissions.
+	// Latency = Finished - Arrival.
 	QueueDelay float64 `json:"queue_delay"`
 	Latency    float64 `json:"latency"`
 
@@ -37,8 +40,26 @@ type TenantResult struct {
 	Reopts int `json:"reopts,omitempty"`
 	// Requeues counts re-admissions after the job's AM container died.
 	Requeues int `json:"requeues,omitempty"`
+	// SlowEpisodes counts slow-node episodes that stretched this job.
+	SlowEpisodes int `json:"slow_episodes,omitempty"`
+	// WastedWork is the simulated work (seconds) discarded by container
+	// losses — progress past the last checkpoint that must be re-done.
+	WastedWork float64 `json:"wasted_work,omitempty"`
+	// BreakerDegraded records an admission forced onto the degraded
+	// fallback by an open circuit breaker.
+	BreakerDegraded bool `json:"breaker_degraded,omitempty"`
+	// FailedPermanently marks a tenant whose retry budget ran out.
+	FailedPermanently bool `json:"failed_permanently,omitempty"`
+	// Shed marks a tenant rejected by the open circuit breaker.
+	Shed bool `json:"shed,omitempty"`
 	// Served is false for tenants the shrunken cluster could never admit.
 	Served bool `json:"served"`
+
+	// Error is the deterministic message of the terminal error, if any.
+	Error string `json:"error,omitempty"`
+	// Err is the typed terminal error for errors.Is/errors.As; it is not
+	// part of the JSON report (Error carries the message).
+	Err error `json:"-"`
 
 	// OutputHash fingerprints the written outputs and print stream.
 	OutputHash string `json:"output_hash,omitempty"`
@@ -75,24 +96,49 @@ type Report struct {
 	ReoptChanges    int `json:"reopt_changes"`
 	DepartureReopts int `json:"departure_reopts"`
 	FailureReopts   int `json:"failure_reopts"`
+	RestoreReopts   int `json:"restore_reopts,omitempty"`
 	// NodeFailures / Requeues / Unserved count failure handling activity.
 	NodeFailures int `json:"node_failures"`
 	Requeues     int `json:"requeues"`
 	Unserved     int `json:"unserved"`
+	// NodeRestores counts nodes that returned after transient losses;
+	// SlowNodeEvents counts slow-node episode starts and ends.
+	NodeRestores   int `json:"node_restores,omitempty"`
+	SlowNodeEvents int `json:"slow_node_events,omitempty"`
+	// FailedPermanently counts tenants whose retry budget ran out; Shed
+	// counts tenants rejected by the open circuit breaker.
+	FailedPermanently int `json:"failed_permanently,omitempty"`
+	Shed              int `json:"shed,omitempty"`
+	// WastedWork totals the simulated seconds of discarded progress across
+	// all container losses (work past the last checkpoint, re-done later).
+	WastedWork float64 `json:"wasted_work,omitempty"`
+	// P95QueueDelay summarizes served-tenant admission delays — the
+	// latency the circuit breaker is meant to bound under chaos.
+	P95QueueDelay float64 `json:"p95_queue_delay"`
+	// BreakerTrips counts open transitions of the admission breaker;
+	// BreakerDegraded counts admissions it forced onto the fallback plan.
+	BreakerTrips    int `json:"breaker_trips,omitempty"`
+	BreakerDegraded int `json:"breaker_degraded,omitempty"`
 }
 
 // finalize computes the aggregate fields from per-tenant results.
 func (r *Report) finalize(usedIntegral, capIntegral float64) {
-	var latencies []float64
+	var latencies, delays []float64
 	var queueSum float64
 	served := 0
 	for _, t := range r.Tenants {
 		if !t.Served {
-			r.Unserved++
+			// Terminal outcomes with their own counters (budget
+			// exhaustion, breaker shedding) are not "unserved": the
+			// service made a decision, it did not run out of events.
+			if !t.FailedPermanently && !t.Shed {
+				r.Unserved++
+			}
 			continue
 		}
 		served++
 		latencies = append(latencies, t.Latency)
+		delays = append(delays, t.QueueDelay)
 		queueSum += t.QueueDelay
 		if t.Finished > r.Makespan {
 			r.Makespan = t.Finished
@@ -100,6 +146,7 @@ func (r *Report) finalize(usedIntegral, capIntegral float64) {
 	}
 	r.P50Latency = percentile(latencies, 0.50)
 	r.P95Latency = percentile(latencies, 0.95)
+	r.P95QueueDelay = percentile(delays, 0.95)
 	if served > 0 {
 		r.MeanQueueDelay = queueSum / float64(served)
 	}
@@ -152,11 +199,26 @@ func (r *Report) WriteTable(w io.Writer) error {
 		if t.Reopts > 0 {
 			flags += fmt.Sprintf("reopt:%d ", t.Reopts)
 		}
+		if t.BreakerDegraded {
+			flags += "breaker "
+		}
 		if t.Requeues > 0 {
 			flags += fmt.Sprintf("requeue:%d ", t.Requeues)
 		}
+		if t.SlowEpisodes > 0 {
+			flags += fmt.Sprintf("slow:%d ", t.SlowEpisodes)
+		}
 		if !t.Served {
-			flags = "UNSERVED"
+			switch {
+			case t.FailedPermanently:
+				flags = "FAILED-PERM"
+			case t.Shed:
+				flags = "SHED"
+			case t.Error != "":
+				flags = "ERROR"
+			default:
+				flags = "UNSERVED"
+			}
 		}
 		if _, err := fmt.Fprintf(w, "%-12s %-9s %-12s %9.1f %9.1f %9.1f %9.1f  %-11s %s\n",
 			t.Tenant, t.Program, t.Scenario, t.Arrival, t.QueueDelay, t.Latency, t.Finished, t.Config, flags); err != nil {
@@ -164,13 +226,23 @@ func (r *Report) WriteTable(w io.Writer) error {
 		}
 	}
 	cs := r.Cache
-	_, err := fmt.Fprintf(w,
-		"\nmakespan %.1fs | latency p50 %.1fs p95 %.1fs | mean queue %.1fs | utilization %.1f%% | peak tenants %d\n"+
-			"plan cache: %d hits / %d misses (%.0f%% hit rate), %d evictions | reopts: %d checks, %d changes (%d departure, %d failure) | %d node failures, %d requeues\n",
-		r.Makespan, r.P50Latency, r.P95Latency, r.MeanQueueDelay, 100*r.Utilization, r.MaxConcurrent,
+	if _, err := fmt.Fprintf(w,
+		"\nmakespan %.1fs | latency p50 %.1fs p95 %.1fs | mean queue %.1fs (p95 %.1fs) | utilization %.1f%% | peak tenants %d\n"+
+			"plan cache: %d hits / %d misses (%.0f%% hit rate), %d evictions | reopts: %d checks, %d changes (%d departure, %d failure, %d restore) | %d node failures, %d requeues\n",
+		r.Makespan, r.P50Latency, r.P95Latency, r.MeanQueueDelay, r.P95QueueDelay, 100*r.Utilization, r.MaxConcurrent,
 		cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions,
-		r.ReoptChecks, r.ReoptChanges, r.DepartureReopts, r.FailureReopts, r.NodeFailures, r.Requeues)
-	return err
+		r.ReoptChecks, r.ReoptChanges, r.DepartureReopts, r.FailureReopts, r.RestoreReopts, r.NodeFailures, r.Requeues); err != nil {
+		return err
+	}
+	if r.NodeRestores+r.SlowNodeEvents+r.FailedPermanently+r.Shed+r.BreakerTrips > 0 || r.WastedWork > 0 {
+		if _, err := fmt.Fprintf(w,
+			"chaos: %d node restores, %d slow-node events, %.1fs wasted work | %d failed permanently, %d shed | breaker: %d trips, %d degraded admissions\n",
+			r.NodeRestores, r.SlowNodeEvents, r.WastedWork, r.FailedPermanently, r.Shed,
+			r.BreakerTrips, r.BreakerDegraded); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // outputHash fingerprints a job's observable result: written output paths

@@ -3,6 +3,7 @@ package workload
 import (
 	"bytes"
 	"container/heap"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,35 +12,39 @@ import (
 	"elasticml/internal/conf"
 	"elasticml/internal/datagen"
 	"elasticml/internal/dml"
+	"elasticml/internal/fault"
 	"elasticml/internal/hdfs"
 	"elasticml/internal/hop"
 	"elasticml/internal/lop"
 	"elasticml/internal/matrix"
+	"elasticml/internal/mr"
 	"elasticml/internal/obs"
 	"elasticml/internal/opt"
 	"elasticml/internal/rt"
 	"elasticml/internal/yarn"
 )
 
-// evKind orders same-time events: node failures are observed before the
-// departures they might invalidate, and arrivals are admitted last, against
-// the post-failure, post-departure cluster state.
+// evKind orders same-time events: chaos (node loss, restore, slow episodes)
+// is observed before the departures it might invalidate, retry re-admissions
+// join the queue after departures freed capacity, and arrivals are admitted
+// last, against the post-chaos, post-departure cluster state.
 type evKind int
 
 const (
-	evFail evKind = iota
+	evChaos evKind = iota
 	evDepart
+	evRetry
 	evArrive
 )
 
 // event is one discrete-event queue entry.
 type event struct {
-	at   float64
-	kind evKind
-	seq  int // insertion order, the final tie-break
-	job  int // arrive/depart
-	gen  int // depart: job generation this event was scheduled for
-	node int // fail
+	at    float64
+	kind  evKind
+	seq   int // insertion order, the final tie-break
+	job   int // arrive/depart/retry
+	gen   int // depart/retry: job generation this event was scheduled for
+	chaos int // chaos: index into Service.chaos
 }
 
 type eventHeap []event
@@ -54,7 +59,7 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() interface{} {
 	old := *h
@@ -68,12 +73,15 @@ func (h *eventHeap) Pop() interface{} {
 type jobState int
 
 const (
-	jsPending jobState = iota // submitted, arrival event not yet fired
-	jsQueued                  // arrived, waiting for admission
-	jsRunning                 // holds an AM container until its departure
-	jsDone                    // served to completion
-	jsFailed                  // compile or execution error — never served
-	jsUnserved                // still queued when the simulation drained
+	jsPending    jobState = iota // submitted, arrival event not yet fired
+	jsQueued                     // arrived, waiting for admission
+	jsRunning                    // holds an AM container until its departure
+	jsBackoff                    // failure victim waiting out its retry backoff
+	jsDone                       // served to completion
+	jsFailed                     // compile or execution error — never served
+	jsFailedPerm                 // retry budget exhausted — terminal failure
+	jsShed                       // rejected by the circuit breaker
+	jsUnserved                   // still queued when the simulation drained
 )
 
 // job is the service-side state of one tenant submission.
@@ -86,15 +94,28 @@ type job struct {
 	cost float64
 	cont yarn.Container
 
-	// gen invalidates stale departure events after re-optimization or
-	// re-admission rescheduled the job.
+	// gen invalidates stale departure/retry events after re-optimization,
+	// failure, or slow-node stretching rescheduled the job.
 	gen    int
 	finish float64
-	// fracRem is the fraction of the program's work still outstanding;
-	// it drops below 1 when a node failure kills the job mid-run.
-	fracRem float64
+	// execStart is when execution (re)started after admission charges; the
+	// progress model interpolates between execStart and finish.
+	execStart float64
+	// total is the job's full uninterrupted simulated execution time.
+	total float64
+	// ckpt is the completed-work fraction snapshotted at the last block
+	// boundary; a restart resumes from here (always 0 under naive restart).
+	ckpt float64
+	// blocks is the program's leaf-block count — the checkpoint
+	// granularity.
+	blocks int
+	// retries counts container losses charged against the retry budget.
+	retries int
 	// requeued marks the next admission as a post-failure re-admission.
 	requeued bool
+	// slow is the effective slowdown of the job's current node (1 = full
+	// speed), after the speculation cap.
+	slow float64
 
 	result TenantResult
 }
@@ -132,11 +153,13 @@ type Service struct {
 	live  conf.Cluster // cc with Nodes shrunk to the live node count
 	cache *opt.Cache
 	tr    *obs.Tracer
+	brk   *breaker
 
 	jobs  []*job
 	queue []int // FIFO of job indices awaiting admission
 	evs   eventHeap
 	seq   int
+	chaos []fault.NodeEvent // expanded chaos schedule, indexed by event.chaos
 
 	now          float64
 	lastT        float64
@@ -161,6 +184,7 @@ func New(cc conf.Cluster, o Options) (*Service, error) {
 		rm:   yarn.NewResourceManager(cc),
 		live: cc,
 		tr:   o.Trace,
+		brk:  newBreaker(o.Breaker),
 	}
 	if o.CacheEntries >= 0 {
 		s.cache = opt.NewCache(o.CacheEntries)
@@ -181,12 +205,12 @@ func Run(cc conf.Cluster, jobs []JobSpec, o Options) (*Report, error) {
 
 // Run executes one workload batch.
 func (s *Service) Run(specs []JobSpec) (*Report, error) {
-	if err := validate(specs, s.cc.Nodes, s.opts.NodeFailures); err != nil {
+	if err := validate(specs, s.cc.Nodes, s.opts.NodeFailures, s.opts.Chaos); err != nil {
 		return nil, err
 	}
 	s.jobs = make([]*job, len(specs))
 	for i, spec := range specs {
-		j := &job{idx: i, spec: spec, fracRem: 1}
+		j := &job{idx: i, spec: spec, slow: 1}
 		tenant := spec.Tenant
 		if tenant == "" {
 			tenant = fmt.Sprintf("tenant-%02d", i)
@@ -202,32 +226,53 @@ func (s *Service) Run(specs []JobSpec) (*Report, error) {
 		s.jobs[i] = j
 		s.push(event{at: spec.Arrival, kind: evArrive, job: i})
 	}
+	// The chaos schedule merges the legacy single-node failures with the
+	// expanded chaos plan; both are pure functions of the options.
 	for _, nf := range s.opts.NodeFailures {
-		s.push(event{at: nf.At, kind: evFail, node: nf.Node})
+		s.chaos = append(s.chaos, fault.NodeEvent{
+			Kind: fault.NodeDown, At: nf.At, Nodes: []int{nf.Node}, Cause: "fail",
+		})
+	}
+	s.chaos = append(s.chaos, s.opts.Chaos.Events(s.cc.Nodes)...)
+	for i, ne := range s.chaos {
+		s.push(event{at: ne.At, kind: evChaos, chaos: i})
 	}
 
 	for len(s.evs) > 0 {
 		batch := s.popBatch()
 		s.advanceTo(batch[0].at)
-		failed, departed := false, false
+		failed, restored, departed := false, false, false
+		var retryJoins []int
 		for _, ev := range batch {
 			switch ev.kind {
-			case evFail:
-				s.applyFail(ev)
-				failed = true
+			case evChaos:
+				f, r := s.applyChaos(ev)
+				failed = failed || f
+				restored = restored || r
 			case evDepart:
 				if s.applyDepart(ev) {
 					departed = true
+				}
+			case evRetry:
+				if idx, ok := s.applyRetry(ev); ok {
+					retryJoins = append(retryJoins, idx)
 				}
 			case evArrive:
 				s.applyArrive(ev)
 			}
 		}
-		// §5-style elastic re-optimization: every departure and node
-		// failure re-evaluates the running jobs against the new cluster
-		// state before freed capacity is handed to the queue.
+		// Failure victims rejoin at the queue front (they already waited
+		// their turn), in the order their retries were scheduled.
+		if len(retryJoins) > 0 {
+			s.queue = append(retryJoins, s.queue...)
+		}
+		// §5-style elastic re-optimization: every departure, node failure,
+		// and capacity restore re-evaluates the running jobs against the
+		// new cluster state before freed capacity is handed to the queue.
 		if failed {
 			s.reoptimize("failure")
+		} else if restored {
+			s.reoptimize("restore")
 		} else if departed {
 			s.reoptimize("departure")
 		}
@@ -236,9 +281,9 @@ func (s *Service) Run(specs []JobSpec) (*Report, error) {
 
 	// The event queue drained; whatever is still waiting can never be
 	// admitted (the shrunken cluster has no chunk for the FIFO head and no
-	// further departures or failures will change that).
+	// further departures, failures, or restores will change that).
 	for _, j := range s.jobs {
-		if j.state == jsQueued || j.state == jsPending {
+		if j.state == jsQueued || j.state == jsPending || j.state == jsBackoff {
 			j.state = jsUnserved
 		}
 	}
@@ -249,6 +294,7 @@ func (s *Service) Run(specs []JobSpec) (*Report, error) {
 		rep.Tenants[i] = j.result
 	}
 	rep.Cache = s.cache.Stats()
+	rep.BreakerTrips = s.brk.tripCount()
 	rep.finalize(s.usedIntegral, s.capIntegral)
 	if m := s.tr.Metrics(); m != nil {
 		m.SetGauge("workload.utilization", rep.Utilization)
@@ -266,7 +312,7 @@ func (s *Service) push(ev event) {
 }
 
 // popBatch pops every event sharing the earliest timestamp, in kind/seq
-// order: failures, then departures, then arrivals.
+// order: chaos, then departures, then retries, then arrivals.
 func (s *Service) popBatch() []event {
 	first := heap.Pop(&s.evs).(event)
 	batch := []event{first}
@@ -290,64 +336,195 @@ func (s *Service) advanceTo(t float64) {
 	s.now = t
 }
 
-// applyFail processes a node failure: the cluster view shrinks, and every
-// running job whose AM container lived on the node is pushed back to the
-// front of the admission queue with its remaining-work fraction preserved.
-func (s *Service) applyFail(ev event) {
-	lost, err := s.rm.FailNode(ev.node)
+// applyChaos delivers one expanded chaos event. It reports whether the
+// event removed capacity (failure) or returned it (restore).
+func (s *Service) applyChaos(ev event) (failed, restored bool) {
+	ne := s.chaos[ev.chaos]
+	switch ne.Kind {
+	case fault.NodeDown:
+		return s.applyNodesDown(ne), false
+	case fault.NodeUp:
+		for _, node := range ne.Nodes {
+			if err := s.rm.RestoreNode(node); err != nil {
+				continue // node was never down (overlapping chaos); skip
+			}
+			restored = true
+			s.rep.NodeRestores++
+			s.tr.Complete(obs.LayerWorkload, "workload.node-restore", s.now, 0,
+				obs.A("node", node), obs.A("cause", ne.Cause))
+			s.tr.Metrics().Add("workload.node_restores", 1)
+		}
+		s.live.Nodes = s.rm.LiveNodes()
+		return false, restored
+	case fault.NodeSlow:
+		s.applyNodeSpeed(ne.Nodes[0], ne.Factor, ne.Cause)
+	case fault.NodeFast:
+		s.applyNodeSpeed(ne.Nodes[0], 1, ne.Cause)
+	}
+	return false, false
+}
+
+// applyNodesDown processes a (possibly correlated) node-group loss: the
+// cluster view shrinks atomically, and every running job whose AM container
+// lived on a lost node goes through the recovery policy.
+func (s *Service) applyNodesDown(ne fault.NodeEvent) bool {
+	before := s.rm.LiveNodes()
+	lost, err := s.rm.FailNodes(ne.Nodes)
 	if err != nil {
-		return // validated upfront; defensive
+		return false // validated upfront; defensive
+	}
+	downed := before - s.rm.LiveNodes()
+	if downed == 0 {
+		return false // every group member was already down
 	}
 	s.live.Nodes = s.rm.LiveNodes()
-	s.rep.NodeFailures++
+	s.rep.NodeFailures += downed
 	s.tr.Complete(obs.LayerWorkload, "workload.node-fail", s.now, 0,
-		obs.A("node", ev.node), obs.A("lost_containers", len(lost)))
-	s.tr.Metrics().Add("workload.node_failures", 1)
+		obs.A("nodes", downed), obs.A("cause", ne.Cause),
+		obs.A("lost_containers", len(lost)))
+	s.tr.Metrics().Add("workload.node_failures", int64(downed))
+	// Correlated losses hit the breaker once per lost node: a rack outage
+	// is as many failure signals as it removed nodes.
+	for i := 0; i < downed; i++ {
+		s.brk.recordFailure(s.now)
+	}
 
 	lostIDs := make(map[yarn.ContainerID]bool, len(lost))
 	for _, c := range lost {
 		lostIDs[c.ID] = true
 	}
-	var requeued []int
 	for _, j := range s.jobs {
 		if j.state != jsRunning || !lostIDs[j.cont.ID] {
 			continue
 		}
-		frac := 0.0
-		if span := j.finish - j.result.Admitted; span > 0 {
-			frac = (j.finish - s.now) / span
-		}
-		if frac < 0 {
-			frac = 0
-		} else if frac > 1 {
-			frac = 1
-		}
-		j.fracRem *= frac
-		j.gen++ // invalidate the scheduled departure
-		j.state = jsQueued
-		j.cont = yarn.Container{}
-		j.requeued = true
-		j.result.Requeues++
-		s.rep.Requeues++
-		s.running--
-		requeued = append(requeued, j.idx)
-		s.tr.Complete(obs.LayerWorkload, "workload.requeue", s.now, 0,
-			obs.A("tenant", j.result.Tenant), obs.A("node", ev.node))
+		s.failRunning(j, ne.Cause)
 	}
-	// Victims go to the queue front (they already waited their turn), in
-	// job order among themselves.
-	s.queue = append(requeued, s.queue...)
+	return true
+}
+
+// failRunning applies the recovery policy to a running job whose container
+// died: snapshot progress (checkpoint) or discard it (naive), charge the
+// retry budget, and either schedule a backoff-delayed re-admission or fail
+// the job permanently with a typed error.
+func (s *Service) failRunning(j *job, cause string) {
+	done := s.progressAt(j)
+	ck := s.opts.Recovery.checkpointFrac(done, j.ckpt, j.blocks)
+	wasted := (done - ck) * j.total
+	if wasted < 0 {
+		wasted = 0
+	}
+	if ck > j.ckpt && !s.opts.Recovery.StrictBudget {
+		// The job advanced at least one block since its last loss: the
+		// retry budget guards against futile churn, not progress, so the
+		// consecutive-failure count starts over.
+		j.retries = 0
+	}
+	j.ckpt = ck
+	j.result.WastedWork += wasted
+	s.rep.WastedWork += wasted
+
+	j.gen++ // invalidate the scheduled departure
+	j.cont = yarn.Container{}
+	j.slow = 1
+	j.requeued = true
+	j.retries++
+	j.result.Requeues++
+	s.rep.Requeues++
+	s.running--
+
+	if j.retries > s.opts.Recovery.MaxRetries {
+		j.state = jsFailedPerm
+		j.result.FailedPermanently = true
+		j.result.Err = &RetryExhaustedError{
+			Tenant: j.result.Tenant, Retries: j.retries, Budget: s.opts.Recovery.MaxRetries,
+		}
+		j.result.Error = j.result.Err.Error()
+		s.rep.FailedPermanently++
+		s.tr.Complete(obs.LayerWorkload, "workload.failed-permanently", s.now, 0,
+			obs.A("tenant", j.result.Tenant), obs.A("retries", j.retries),
+			obs.A("cause", cause))
+		s.tr.Metrics().Add("workload.failed_permanently", 1)
+		return
+	}
+	j.state = jsBackoff
+	delay := s.opts.Recovery.backoffDelay(j.retries)
+	s.push(event{at: s.now + delay, kind: evRetry, job: j.idx, gen: j.gen})
+	s.tr.Complete(obs.LayerWorkload, "workload.requeue", s.now, 0,
+		obs.A("tenant", j.result.Tenant), obs.A("cause", cause),
+		obs.A("retry", j.retries), obs.A("backoff", delay),
+		obs.A("checkpoint", j.ckpt))
+	s.tr.Metrics().Add("workload.requeues", 1)
+}
+
+// progressAt maps simulated time onto the job's completed-work fraction:
+// linear interpolation between the execution (re)start and the scheduled
+// finish, on top of the last checkpoint. Re-optimization charges and
+// slow-node stretches move the finish time, so the mapping follows the
+// job's actual schedule.
+func (s *Service) progressAt(j *job) float64 {
+	if s.now <= j.execStart || j.finish <= j.execStart || j.total <= 0 {
+		return j.ckpt // failed during restore charge: no new progress
+	}
+	frac := j.ckpt + (1-j.ckpt)*(s.now-j.execStart)/(j.finish-j.execStart)
+	if frac < j.ckpt {
+		frac = j.ckpt
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// applyNodeSpeed delivers a slow-node episode (factor > 1) or its end
+// (factor == 1): resident running jobs stretch or recover by the effective
+// slowdown, which the MR speculation model caps — straggler nodes and
+// straggler tasks degrade through the same arithmetic.
+func (s *Service) applyNodeSpeed(node int, factor float64, cause string) {
+	if err := s.rm.SetNodeSpeed(node, factor); err != nil {
+		return // node out of range: validated upfront; defensive
+	}
+	eff := 1.0
+	if factor > 1 {
+		eff, _ = mr.EffectiveSlowdown(factor, s.opts.TaskPolicy)
+	}
+	s.rep.SlowNodeEvents++
+	s.tr.Complete(obs.LayerWorkload, "workload.node-speed", s.now, 0,
+		obs.A("node", node), obs.A("factor", factor), obs.A("effective", eff),
+		obs.A("cause", cause))
+	s.tr.Metrics().Add("workload.slow_node_events", 1)
+	for _, j := range s.jobs {
+		if j.state != jsRunning || j.cont.Node != node || j.slow == eff {
+			continue
+		}
+		rem := j.finish - s.now
+		if rem < 0 {
+			rem = 0
+		}
+		rem *= eff / j.slow
+		j.slow = eff
+		j.gen++
+		j.finish = s.now + rem
+		s.push(event{at: j.finish, kind: evDepart, job: j.idx, gen: j.gen})
+		j.result.SlowEpisodes++
+	}
 }
 
 // applyDepart finalizes a finished tenant. Stale events — the job was
-// rescheduled by a re-optimization or killed by a node failure since this
-// event was pushed — are skipped via the generation check.
+// rescheduled by a re-optimization, killed by a node failure, or stretched
+// by a slow-node episode since this event was pushed — are skipped via the
+// generation check.
 func (s *Service) applyDepart(ev event) bool {
 	j := s.jobs[ev.job]
 	if j.state != jsRunning || ev.gen != j.gen {
 		return false
 	}
-	_ = s.rm.Release(j.cont.ID)
+	if err := s.rm.Release(j.cont.ID); err != nil && !errors.Is(err, yarn.ErrUnknownContainer) {
+		// ErrUnknownContainer would mean the container died with a node
+		// between events (impossible given the generation check); anything
+		// else is a real bookkeeping bug worth surfacing in the trace.
+		s.tr.Complete(obs.LayerWorkload, "workload.release-error", s.now, 0,
+			obs.A("tenant", j.result.Tenant), obs.A("err", err.Error()))
+	}
 	j.cont = yarn.Container{}
 	j.state = jsDone
 	j.result.Served = true
@@ -361,6 +538,18 @@ func (s *Service) applyDepart(ev event) bool {
 	s.tr.Metrics().Add("workload.departures", 1)
 	s.tr.Metrics().Observe("workload.latency", j.result.Latency)
 	return true
+}
+
+// applyRetry moves a backoff-expired failure victim back toward the
+// admission queue; the caller collects the indices and prepends them in
+// scheduling order.
+func (s *Service) applyRetry(ev event) (int, bool) {
+	j := s.jobs[ev.job]
+	if j.state != jsBackoff || ev.gen != j.gen {
+		return 0, false
+	}
+	j.state = jsQueued
+	return j.idx, true
 }
 
 // applyArrive moves a submitted job into the admission queue.
@@ -434,12 +623,26 @@ func (s *Service) optimizeUnder(c *compiled, cc conf.Cluster, opts opt.Options) 
 	return r.Res, r.Cost, hit
 }
 
+// shedJob rejects the queue head on behalf of the open circuit breaker.
+func (s *Service) shedJob(j *job) {
+	j.state = jsShed
+	j.result.Shed = true
+	j.result.Err = fmt.Errorf("%w: %s arrived during an open breaker", ErrAdmissionShed, j.result.Tenant)
+	j.result.Error = j.result.Err.Error()
+	s.rep.Shed++
+	s.tr.Complete(obs.LayerWorkload, "workload.shed", s.now, 0,
+		obs.A("tenant", j.result.Tenant))
+	s.tr.Metrics().Add("workload.shed", 1)
+}
+
 // tryAdmit drains the FIFO admission queue as far as capacity allows.
 // Admission is two-phase: the job is first optimized under the *unclamped*
 // live cluster (the stable cache key shared across cluster load states);
 // only if that configuration's AM container does not fit the largest free
 // chunk is it re-optimized under a clamped cluster (degraded admission).
-// The head of the queue blocks the tail — FIFO, no bypass.
+// The circuit breaker gates every attempt: while open, first-time
+// admissions are shed or forced onto the degraded-fallback plan. The head
+// of the queue blocks the tail — FIFO, no bypass.
 func (s *Service) tryAdmit() {
 	type admission struct {
 		j *job
@@ -448,6 +651,14 @@ func (s *Service) tryAdmit() {
 	var adm []admission
 	for len(s.queue) > 0 {
 		j := s.jobs[s.queue[0]]
+		gate := s.brk.gate(s.now)
+		if gate == gateShed && j.result.Requeues == 0 {
+			// Failure victims retrying under their budget are never shed:
+			// they already hold service state worth finishing.
+			s.queue = s.queue[1:]
+			s.shedJob(j)
+			continue
+		}
 		chunk := s.rm.MaxFreeChunk()
 		if chunk < s.cc.MinAlloc {
 			break
@@ -456,6 +667,8 @@ func (s *Service) tryAdmit() {
 		if err != nil {
 			s.queue = s.queue[1:]
 			j.state = jsFailed
+			j.result.Err = err
+			j.result.Error = err.Error()
 			s.tr.Complete(obs.LayerWorkload, "tenant.error", s.now, 0,
 				obs.A("tenant", j.result.Tenant), obs.A("err", err.Error()))
 			continue
@@ -463,6 +676,25 @@ func (s *Service) tryAdmit() {
 		opts := s.optOpts()
 		res, cost, hit := s.optimizeUnder(c, s.live, opts)
 		degraded := false
+		breakerDegraded := false
+		if gate == gateDegrade {
+			// Degraded-fallback plan: clamp the optimization to half the
+			// free slice so a recovering cluster is not immediately
+			// re-packed to the brim.
+			fallback := chunk / 2
+			if fallback < s.cc.MinAlloc {
+				fallback = s.cc.MinAlloc
+			}
+			clamped := s.live
+			clamped.MaxAlloc = fallback
+			res2, cost2, hit2 := s.optimizeUnder(c, clamped, opts)
+			if s.cc.ContainerSize(res2.CP) <= chunk {
+				res, cost = res2, cost2
+				hit = hit && hit2
+				degraded = true
+				breakerDegraded = true
+			}
+		}
 		if s.cc.ContainerSize(res.CP) > chunk {
 			clamped := s.live
 			clamped.MaxAlloc = chunk
@@ -476,16 +708,37 @@ func (s *Service) tryAdmit() {
 		}
 		cont, err := s.rm.Allocate(s.cc.ContainerSize(res.CP))
 		if err != nil {
-			break // defensive: retry at the next event
+			if errors.Is(err, yarn.ErrOverMaxAllocation) {
+				// The chosen plan can never be granted on this cluster —
+				// a permanent, typed condition, not a transient shortage.
+				s.queue = s.queue[1:]
+				j.state = jsFailed
+				j.result.Err = err
+				j.result.Error = err.Error()
+				s.tr.Complete(obs.LayerWorkload, "tenant.error", s.now, 0,
+					obs.A("tenant", j.result.Tenant), obs.A("err", err.Error()))
+				continue
+			}
+			break // ErrNoCapacity: retry at the next event
 		}
 		s.queue = s.queue[1:]
 		j.state = jsRunning
 		j.cont = cont
 		j.res, j.cost = res, cost
 		j.result.Admitted = s.now
-		j.result.QueueDelay = s.now - j.result.Arrival
+		if j.result.Requeues == 0 {
+			// Admission latency is the wait for the FIRST admission;
+			// failure-driven re-admissions extend Latency, not QueueDelay.
+			j.result.QueueDelay = s.now - j.result.Arrival
+		}
 		j.result.CacheHit = hit
 		j.result.Degraded = degraded
+		if breakerDegraded {
+			j.result.BreakerDegraded = true
+			s.rep.BreakerDegraded++
+			s.tr.Metrics().Add("workload.breaker_degraded", 1)
+		}
+		s.brk.admitted(s.now)
 		s.running++
 		if s.running > s.rep.MaxConcurrent {
 			s.rep.MaxConcurrent = s.running
@@ -506,9 +759,14 @@ func (s *Service) tryAdmit() {
 		j := a.j
 		sr := sims[i]
 		if sr.err != nil {
-			_ = s.rm.Release(j.cont.ID)
+			if err := s.rm.Release(j.cont.ID); err != nil && !errors.Is(err, yarn.ErrUnknownContainer) {
+				s.tr.Complete(obs.LayerWorkload, "workload.release-error", s.now, 0,
+					obs.A("tenant", j.result.Tenant), obs.A("err", err.Error()))
+			}
 			j.cont = yarn.Container{}
 			j.state = jsFailed
+			j.result.Err = sr.err
+			j.result.Error = sr.err.Error()
 			s.running--
 			s.tr.Complete(obs.LayerWorkload, "tenant.error", s.now, 0,
 				obs.A("tenant", j.result.Tenant), obs.A("err", sr.err.Error()))
@@ -519,11 +777,34 @@ func (s *Service) tryAdmit() {
 			charge = s.opts.HitCharge
 		}
 		if j.requeued {
-			charge += s.opts.RequeueCharge
+			// State restore: from the last checkpoint (cheap) or from
+			// scratch (the naive full re-load, paper §4.1).
+			if s.opts.Recovery.Kind == RecoveryCheckpoint {
+				charge += s.opts.Recovery.CheckpointCharge
+			} else {
+				charge += s.opts.RequeueCharge
+			}
 			j.requeued = false
 		}
+		// Checkpoint bookkeeping: block count and full execution time feed
+		// the progress model; a slowed node stretches the remaining work by
+		// the speculation-capped factor.
+		j.blocks = a.c.hp.NumLeaf
+		if j.blocks < 1 {
+			j.blocks = 1
+		}
+		j.total = sr.simSeconds
+		exec := sr.simSeconds * (1 - j.ckpt)
+		if speed := s.rm.NodeSpeed(j.cont.Node); speed > 1 {
+			eff, _ := mr.EffectiveSlowdown(speed, s.opts.TaskPolicy)
+			exec *= eff
+			j.slow = eff
+		} else {
+			j.slow = 1
+		}
 		j.gen++
-		j.finish = s.now + charge + sr.simSeconds*j.fracRem
+		j.execStart = s.now + charge
+		j.finish = j.execStart + exec
 		s.push(event{at: j.finish, kind: evDepart, job: j.idx, gen: j.gen})
 		j.result.Outputs = sr.outputs
 		j.result.Prints = sr.prints
@@ -669,15 +950,15 @@ func (s *Service) applyReopt(j *job, res conf.Resources, cost float64, trigger s
 			cont, err = s.rm.Allocate(oldMem)
 			if err != nil {
 				// Cannot even re-take the old slot (impossible in the
-				// sequential loop); re-queue the job.
-				j.gen++
-				j.state = jsQueued
-				j.cont = yarn.Container{}
-				j.requeued = true
-				j.result.Requeues++
-				s.rep.Requeues++
-				s.running--
-				s.queue = append([]int{j.idx}, s.queue...)
+				// sequential loop); route the job through the recovery
+				// policy like any other container loss.
+				s.failRunning(j, "reopt")
+				if j.state == jsBackoff {
+					// Skip the backoff — the container was lost to
+					// bookkeeping, not a node: rejoin the queue now.
+					j.state = jsQueued
+					s.queue = append([]int{j.idx}, s.queue...)
+				}
 				return
 			}
 			j.cont = cont
@@ -700,9 +981,13 @@ func (s *Service) applyReopt(j *job, res conf.Resources, cost float64, trigger s
 	s.push(event{at: j.finish, kind: evDepart, job: j.idx, gen: j.gen})
 	j.result.Reopts++
 	s.rep.ReoptChanges++
-	if trigger == "failure" {
+	s.brk.recordChurn(s.now)
+	switch trigger {
+	case "failure":
 		s.rep.FailureReopts++
-	} else {
+	case "restore":
+		s.rep.RestoreReopts++
+	default:
 		s.rep.DepartureReopts++
 	}
 	s.tr.Complete(obs.LayerWorkload, "workload.reopt", s.now, s.opts.ReoptCharge,

@@ -36,6 +36,7 @@ import (
 	"elasticml/internal/datagen"
 	"elasticml/internal/fault"
 	"elasticml/internal/hdfs"
+	"elasticml/internal/mr"
 	"elasticml/internal/obs"
 	"elasticml/internal/scripts"
 )
@@ -95,12 +96,28 @@ type Options struct {
 	// service-level re-optimization actually changes its configuration
 	// (checks that keep the configuration are free — they are cache hits).
 	ReoptCharge float64
-	// RequeueCharge is the simulated seconds charged when a node failure
-	// kills a job's AM container and the job is re-admitted (state
-	// restore, paper §4.1).
+	// RequeueCharge is the simulated seconds charged when a naive restart
+	// re-admits a failure victim from scratch (full state restore, paper
+	// §4.1). Checkpoint restarts charge Recovery.CheckpointCharge instead.
 	RequeueCharge float64
-	// NodeFailures injects node losses at fixed simulated times.
+	// NodeFailures injects permanent single-node losses at fixed simulated
+	// times (the pre-chaos interface; merged into the chaos schedule).
 	NodeFailures []fault.NodeFailure
+	// Chaos injects correlated failure regimes: rack-scoped group
+	// failures, transient flaps, straggler nodes, and seeded failure
+	// storms. All expansion is deterministic.
+	Chaos fault.ChaosPlan
+	// Recovery governs checkpoint/restart, the per-job retry budget, and
+	// backoff for failure victims. The zero value normalizes to
+	// checkpoint/restart with 3 retries.
+	Recovery RecoveryPolicy
+	// Breaker configures the circuit-breaker admission guard (zero value:
+	// disabled).
+	Breaker BreakerPolicy
+	// TaskPolicy governs straggler speculation: a slowed node's effective
+	// slowdown is capped by speculative backups exactly like a straggling
+	// task's. The zero value normalizes to Hadoop-like defaults.
+	TaskPolicy mr.TaskPolicy
 	// SimTableCols is the label cardinality for table() in sim mode.
 	SimTableCols int64
 	// Trace, when non-nil, receives workload-layer spans (tenant queue and
@@ -148,11 +165,20 @@ func (o Options) normalized() Options {
 	if o.SimTableCols <= 0 {
 		o.SimTableCols = d.SimTableCols
 	}
+	o.Recovery = o.Recovery.normalized()
+	o.TaskPolicy = o.TaskPolicy.Normalized()
 	return o
 }
 
 // validate rejects degenerate job lists before the event loop starts.
-func validate(jobs []JobSpec, nodes int, failures []fault.NodeFailure) error {
+func validate(jobs []JobSpec, nodes int, failures []fault.NodeFailure, chaos fault.ChaosPlan) error {
+	if err := chaos.Validate(nodes); err != nil {
+		return err
+	}
+	return validateJobs(jobs, nodes, failures)
+}
+
+func validateJobs(jobs []JobSpec, nodes int, failures []fault.NodeFailure) error {
 	if len(jobs) == 0 {
 		return fmt.Errorf("workload: empty job list")
 	}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"elasticml/internal/conf"
@@ -59,6 +60,11 @@ const (
 	// ContainerKilled: a single container was killed (preemption, fault
 	// injection) while its node stayed alive.
 	ContainerKilled
+	// NodeSlowed: a NodeManager turned into a straggler — everything
+	// resident on it runs Factor times slower until a NodeRecovered event.
+	NodeSlowed
+	// NodeRecovered: a slowed NodeManager runs at full speed again.
+	NodeRecovered
 )
 
 // FailureEvent is delivered to subscribed applications when the cluster
@@ -70,6 +76,8 @@ type FailureEvent struct {
 	Node int
 	// Lost lists the containers that died with the event.
 	Lost []Container
+	// Factor is the execution slowdown of a NodeSlowed event (>= 1).
+	Factor float64
 }
 
 // ResourceManager is the per-cluster daemon that schedules resource
@@ -79,6 +87,7 @@ type ResourceManager struct {
 	cc        conf.Cluster
 	freeMem   []conf.Bytes
 	failed    []bool
+	speed     []float64 // execution slowdown per node (1 = full speed)
 	nextID    ContainerID
 	allocated map[ContainerID]Container
 	listeners []func(FailureEvent)
@@ -103,13 +112,16 @@ func (rm *ResourceManager) tracer() *obs.Tracer {
 // NewResourceManager returns an RM for the given cluster configuration.
 func NewResourceManager(cc conf.Cluster) *ResourceManager {
 	free := make([]conf.Bytes, cc.Nodes)
+	speed := make([]float64, cc.Nodes)
 	for i := range free {
 		free[i] = cc.MemPerNode
+		speed[i] = 1
 	}
 	return &ResourceManager{
 		cc:        cc,
 		freeMem:   free,
 		failed:    make([]bool, cc.Nodes),
+		speed:     speed,
 		allocated: make(map[ContainerID]Container),
 	}
 }
@@ -311,6 +323,98 @@ func (rm *ResourceManager) FailNode(node int) ([]Container, error) {
 	return lost, nil
 }
 
+// FailNodes fails a group of NodeManagers atomically — the correlated
+// rack-loss primitive of the chaos layer. Capacity of every group member
+// disappears in one step before any listener observes the event, so no
+// subscriber can race an allocation onto a doomed sibling. Already-failed
+// group members are skipped (a storm may target a down node); out-of-range
+// indices yield ErrUnknownNode without failing anything. Listeners receive
+// one NodeFailed event per lost node, in ascending node order.
+func (rm *ResourceManager) FailNodes(nodes []int) ([]Container, error) {
+	rm.mu.Lock()
+	for _, node := range nodes {
+		if node < 0 || node >= len(rm.freeMem) {
+			rm.mu.Unlock()
+			return nil, fmt.Errorf("%w: node %d of %d", ErrUnknownNode, node, len(rm.freeMem))
+		}
+	}
+	var allLost []Container
+	var events []FailureEvent
+	for _, node := range nodes {
+		if rm.failed[node] {
+			continue
+		}
+		rm.failed[node] = true
+		rm.freeMem[node] = 0
+		var lost []Container
+		for id, c := range rm.allocated {
+			if c.Node == node {
+				lost = append(lost, c)
+				delete(rm.allocated, id)
+			}
+		}
+		sort.Slice(lost, func(i, j int) bool { return lost[i].ID < lost[j].ID })
+		allLost = append(allLost, lost...)
+		events = append(events, FailureEvent{Kind: NodeFailed, Node: node, Lost: lost})
+	}
+	rm.mu.Unlock()
+	if len(events) == 0 {
+		return nil, nil
+	}
+	if tr := rm.tracer(); tr != nil {
+		tr.Instant(obs.LayerCluster, "node.group-fail",
+			obs.A("nodes", len(events)), obs.A("lost_containers", len(allLost)))
+		tr.Metrics().Add("yarn.node_failures", int64(len(events)))
+	}
+	for _, ev := range events {
+		rm.notify(ev)
+	}
+	return allLost, nil
+}
+
+// SetNodeSpeed marks a live NodeManager as a straggler (factor > 1) or
+// restores it to full speed (factor == 1), notifying subscribers with a
+// NodeSlowed / NodeRecovered event. The RM only bookkeeps the factor — the
+// discrete-event schedulers consuming it decide how resident work slows.
+func (rm *ResourceManager) SetNodeSpeed(node int, factor float64) error {
+	if factor < 1 {
+		return fmt.Errorf("yarn: node speed factor %g < 1", factor)
+	}
+	rm.mu.Lock()
+	if node < 0 || node >= len(rm.speed) {
+		rm.mu.Unlock()
+		return fmt.Errorf("%w: node %d of %d", ErrUnknownNode, node, len(rm.speed))
+	}
+	prev := rm.speed[node]
+	rm.speed[node] = factor
+	rm.mu.Unlock()
+	if prev == factor {
+		return nil
+	}
+	kind := NodeSlowed
+	name := "node.slowed"
+	if factor == 1 {
+		kind = NodeRecovered
+		name = "node.recovered"
+	}
+	if tr := rm.tracer(); tr != nil {
+		tr.Instant(obs.LayerCluster, name, obs.A("node", node), obs.A("factor", factor))
+		tr.Metrics().Add("yarn.node_slow_events", 1)
+	}
+	rm.notify(FailureEvent{Kind: kind, Node: node, Factor: factor})
+	return nil
+}
+
+// NodeSpeed returns a node's current execution slowdown (1 = full speed).
+func (rm *ResourceManager) NodeSpeed(node int) float64 {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if node < 0 || node >= len(rm.speed) {
+		return 1
+	}
+	return rm.speed[node]
+}
+
 // RestoreNode re-registers a failed NodeManager with full, empty capacity.
 func (rm *ResourceManager) RestoreNode(node int) error {
 	rm.mu.Lock()
@@ -324,6 +428,7 @@ func (rm *ResourceManager) RestoreNode(node int) error {
 	}
 	rm.failed[node] = false
 	rm.freeMem[node] = rm.cc.MemPerNode
+	rm.speed[node] = 1 // a re-registered NM starts at full speed
 	rm.mu.Unlock()
 	if tr := rm.tracer(); tr != nil {
 		tr.Instant(obs.LayerCluster, "node.manager-restore", obs.A("node", node))

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-kernels race-workload race-chaos check bench verify-corpus cover
+.PHONY: build test vet race race-kernels race-workload race-chaos race-server check bench verify-corpus cover
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,15 @@ race-workload:
 race-chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Breaker|Recovery|Checkpoint' ./internal/workload ./internal/bench
 
-check: vet race race-kernels race-workload race-chaos
+# The network daemon under the race detector, doubled: wire protocol
+# framing, the sequencer's live/replay equivalence, concurrent sessions,
+# limiter sheds, and the 10k-request load-generator smoke against a live
+# server (plus the daemon record/replay CLI cycle).
+race-server:
+	$(GO) test -race -count=2 ./internal/server
+	$(GO) test -race -run 'Daemon' ./cmd/elastic-serve
+
+check: vet race race-kernels race-workload race-chaos race-server
 
 # Differential plan verification: the paper corpus plus a fixed-seed fuzz
 # stream, each program run under every resource configuration and against

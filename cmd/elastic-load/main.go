@@ -1,0 +1,64 @@
+// Command elastic-load drives a running elastic-serve daemon (-listen
+// mode) with a seeded request mix over concurrent sessions and prints
+// throughput, shed/error counts, and wall-clock latency percentiles.
+//
+// Usage:
+//
+//	elastic-serve -listen :7071 &
+//	elastic-load -addr 127.0.0.1:7071 -sessions 8 -requests 20000
+//	elastic-load -addr 127.0.0.1:7071 -rate 200 -submit-every 5 -wait
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"elasticml/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "daemon TCP address (required)")
+		sessions    = flag.Int("sessions", 4, "concurrent client sessions")
+		requests    = flag.Int("requests", 1000, "total request budget across sessions")
+		rate        = flag.Float64("rate", 0, "per-session open-loop pacing in requests/sec (0 = closed loop)")
+		tenants     = flag.Int("tenants", 8, "tenant name pool size")
+		seed        = flag.Int64("seed", 1, "request-mix seed")
+		submitEvery = flag.Int("submit-every", 10, "one request in N is a job submission")
+		cancelFrac  = flag.Int("cancel-every", 16, "cancel roughly one in N accepted jobs (-1 = never)")
+		wait        = flag.Bool("wait", false, "block until every accepted job's result frame arrives")
+		jsonOut     = flag.Bool("json", false, "print stats as JSON instead of text")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "elastic-load: -addr is required")
+		os.Exit(2)
+	}
+	st, err := server.RunLoad(server.LoadConfig{
+		Addr:           *addr,
+		Sessions:       *sessions,
+		Requests:       *requests,
+		RatePerSec:     *rate,
+		Tenants:        *tenants,
+		Seed:           *seed,
+		SubmitEvery:    *submitEvery,
+		CancelFraction: *cancelFrac,
+		WaitResults:    *wait,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elastic-load:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		b, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elastic-load:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+		return
+	}
+	fmt.Println(st.String())
+}

@@ -1,0 +1,141 @@
+// Daemon mode: -listen turns elastic-serve from a batch simulator into a
+// long-running network service. Clients submit DML jobs over the binary
+// protocol; a sequencer maps their wall-clock arrivals onto deterministic
+// simulated arrival times; SIGTERM (or SIGINT) drains gracefully and
+// prints the same per-tenant report a batch run would. -record captures
+// the op log so `elastic-serve -replay` can reproduce the run
+// byte-identically offline — the server determinism gate in CI.
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/obs"
+	"elasticml/internal/server"
+	"elasticml/internal/workload"
+)
+
+// daemonConfig carries the daemon-mode flags.
+type daemonConfig struct {
+	listen       string
+	httpAddr     string
+	maxSessions  int
+	idleTimeout  time.Duration
+	rateLimit    float64
+	maxInflight  int
+	record       string
+	gap          float64
+	jsonOut      string
+	drainTimeout time.Duration
+}
+
+// runDaemon serves until SIGTERM/SIGINT, then drains and reports.
+func runDaemon(cc conf.Cluster, o workload.Options, dc daemonConfig) error {
+	tr := obs.New(false)
+	o.Trace = tr
+	seq, err := server.NewSequencer(cc, o, dc.gap)
+	if err != nil {
+		return err
+	}
+	srv := server.NewServer(seq, server.ServerConfig{
+		MaxSessions: dc.maxSessions,
+		IdleTimeout: dc.idleTimeout,
+		Limiter: server.LimiterPolicy{
+			BytesPerSec: dc.rateLimit,
+			MaxInflight: dc.maxInflight,
+		},
+	}, tr.Metrics())
+	ln, err := net.Listen("tcp", dc.listen)
+	if err != nil {
+		return err
+	}
+	if dc.httpAddr != "" {
+		hln, err := net.Listen("tcp", dc.httpAddr)
+		if err != nil {
+			return err
+		}
+		go http.Serve(hln, server.NewHTTPHandler(tr.Metrics()))
+		fmt.Fprintf(os.Stderr, "elastic-serve: metrics/pprof on http://%s\n", hln.Addr())
+	}
+	fmt.Fprintf(os.Stderr, "elastic-serve: listening on %s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "elastic-serve: %v, draining\n", sig)
+	case err := <-errc:
+		if err != server.ErrServerClosed {
+			return err
+		}
+	}
+	rep := srv.Shutdown(dc.drainTimeout)
+
+	out := &obs.ErrWriter{W: os.Stdout}
+	if err := rep.WriteTable(out); err != nil {
+		return err
+	}
+	if dc.jsonOut != "" {
+		if dc.jsonOut == "-" {
+			if err := rep.WriteJSON(out); err != nil {
+				return err
+			}
+		} else if err := writeReport(rep, dc.jsonOut); err != nil {
+			return err
+		}
+	}
+	if dc.record != "" {
+		f, err := os.Create(dc.record)
+		if err != nil {
+			return err
+		}
+		if err := srv.Log().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return out.Err()
+}
+
+// runReplay reproduces a recorded daemon run offline.
+func runReplay(path, jsonOut string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	log, err := server.ReadRecordLog(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	rep, err := server.Replay(log)
+	if err != nil {
+		return err
+	}
+	out := &obs.ErrWriter{W: os.Stdout}
+	if err := rep.WriteTable(out); err != nil {
+		return err
+	}
+	if jsonOut != "" {
+		if jsonOut == "-" {
+			if err := rep.WriteJSON(out); err != nil {
+				return err
+			}
+		} else if err := writeReport(rep, jsonOut); err != nil {
+			return err
+		}
+	}
+	return out.Err()
+}

@@ -17,6 +17,14 @@
 //	elastic-serve -scenario workload.json -nodes 4 -node-mem 8GB
 //	elastic-serve -nodes 4 -chaos-group 2+3@30:40 -chaos-storm 55:5:30:6 \
 //	    -recovery checkpoint -max-retries 5 -breaker shed
+//
+// With -listen it instead runs as a long-lived network daemon speaking the
+// binary wire protocol (see internal/server); SIGTERM drains gracefully
+// and prints the final report. -record / -replay reproduce a live run
+// byte-identically offline:
+//
+//	elastic-serve -listen :7071 -http :7072 -record ops.json -json live.json
+//	elastic-serve -replay ops.json -json replayed.json
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"elasticml/internal/conf"
 	"elasticml/internal/fault"
@@ -50,6 +59,17 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file")
 		metrics  = flag.Bool("metrics", false, "print the workload metrics registry")
 
+		listen      = flag.String("listen", "", "run as a network daemon on this TCP address (e.g. :7071)")
+		httpAddr    = flag.String("http", "", "metrics/pprof HTTP sidecar address (daemon mode)")
+		maxSessions = flag.Int("max-sessions", 16, "fixed session-pool size (daemon mode)")
+		idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "close sessions idle this long (daemon mode)")
+		rateLimit   = flag.Float64("rate-limit", 0, "token-bucket byte-rate admission limit in bytes/sec (daemon mode, 0 = off)")
+		maxInflight = flag.Int("max-inflight", 0, "cap on concurrently live jobs (daemon mode, 0 = off)")
+		record      = flag.String("record", "", "write the op log JSON here on shutdown (daemon mode)")
+		replay      = flag.String("replay", "", "replay a recorded op log and print its report (no network)")
+		gap         = flag.Float64("gap", 0, "simulated seconds between assigned arrivals (daemon mode, 0 = default)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max wait for inflight jobs on shutdown (daemon mode)")
+
 		cf chaosFlags
 	)
 	flag.StringVar(&cf.groups, "chaos-group", "", "correlated group losses, e.g. 2+3@40:15 (nodes@seconds:restore-after)")
@@ -64,6 +84,14 @@ func main() {
 	flag.Parse()
 	out := &obs.ErrWriter{W: os.Stdout}
 
+	if *replay != "" {
+		if err := runReplay(*replay, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "elastic-serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	cc := conf.DefaultCluster()
 	cc.Nodes = *nodes
 	mem, err := parseBytes(*nodeMem)
@@ -77,7 +105,9 @@ func main() {
 	}
 
 	var jobs []workload.JobSpec
-	if *scen != "" {
+	if *listen != "" {
+		// Daemon mode: jobs arrive over the wire, not from a scenario.
+	} else if *scen != "" {
 		f, err := os.Open(*scen)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "elastic-serve:", err)
@@ -116,6 +146,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "elastic-serve:", err)
 		os.Exit(2)
 	}
+	if *listen != "" {
+		err := runDaemon(cc, o, daemonConfig{
+			listen:       *listen,
+			httpAddr:     *httpAddr,
+			maxSessions:  *maxSessions,
+			idleTimeout:  *idleTimeout,
+			rateLimit:    *rateLimit,
+			maxInflight:  *maxInflight,
+			record:       *record,
+			gap:          *gap,
+			jsonOut:      *jsonOut,
+			drainTimeout: *drainWait,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elastic-serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var tr *obs.Tracer
 	if *traceOut != "" || *metrics {
 		tr = obs.New(*traceOut != "")

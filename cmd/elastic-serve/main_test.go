@@ -3,11 +3,16 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"elasticml/internal/server"
 )
 
 // Smoke tests for the workload service entry point: flag validation, the
@@ -239,6 +244,125 @@ func TestChaosDeterministicReports(t *testing.T) {
 		}
 		if !bytes.Equal(ab, bb) {
 			t.Errorf("%s and %s differ between -workers 1 and -workers 4", pair[0], pair[1])
+		}
+	}
+}
+
+// freePort reserves a loopback port for the daemon tests.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDaemonRecordReplay mirrors the CI server-determinism gate: a live
+// daemon run under seeded load, drained with SIGTERM, replays from its
+// recorded op log to a byte-identical JSON report.
+func TestDaemonRecordReplay(t *testing.T) {
+	addr := freePort(t)
+	opsPath := filepath.Join(tmpDir, "daemon-ops.json")
+	livePath := filepath.Join(tmpDir, "daemon-live.json")
+	replayPath := filepath.Join(tmpDir, "daemon-replay.json")
+
+	cmd := exec.Command(binPath, "-listen", addr, "-record", opsPath, "-json", livePath, "-workers", "2")
+	var serveErr strings.Builder
+	cmd.Stderr = &serveErr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the listener, then drive seeded load over 4 sessions.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if c, err := net.Dial("tcp", addr); err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened; stderr: %s", serveErr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	st, err := server.RunLoad(server.LoadConfig{
+		Addr: addr, Sessions: 4, Requests: 600, Seed: 3,
+		SubmitEvery: 12, WaitResults: true,
+	})
+	if err != nil {
+		t.Fatalf("load: %v (daemon stderr: %s)", err, serveErr.String())
+	}
+	if st.Errors != 0 || st.Accepted != st.Submits || st.Results != st.Accepted {
+		t.Fatalf("load stats: %+v", st)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit: %v; stderr: %s", err, serveErr.String())
+	}
+
+	if _, errOut, code := run(t, "-replay", opsPath, "-json", replayPath); code != 0 {
+		t.Fatalf("replay: exit %d: %s", code, errOut)
+	}
+	live, err := os.ReadFile(livePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := os.ReadFile(replayPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) == 0 || !bytes.Equal(live, replayed) {
+		t.Fatal("live and replayed daemon reports differ")
+	}
+}
+
+// TestDaemonBadFlags: daemon/replay mode failures are one-line non-zero
+// exits, not panics or usage dumps.
+func TestDaemonBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-replay", filepath.Join(tmpDir, "missing-ops.json")},
+		{"-listen", "256.256.256.256:1"},
+	}
+	for _, args := range cases {
+		_, errOut, code := run(t, args...)
+		if code == 0 {
+			t.Errorf("%v: want non-zero exit", args)
+		}
+		if strings.Contains(errOut, "panic") || strings.Contains(errOut, "Usage") {
+			t.Errorf("%v: noisy failure output:\n%s", args, errOut)
+		}
+	}
+}
+
+// TestScenarioErrorsOneLine pins the error contract for missing and
+// malformed -scenario files: exit non-zero with exactly one stderr line,
+// no panic, no flag usage dump.
+func TestScenarioErrorsOneLine(t *testing.T) {
+	bad := filepath.Join(tmpDir, "malformed.json")
+	if err := os.WriteFile(bad, []byte(`{"jobs": [{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, scen := range []string{filepath.Join(tmpDir, "nope.json"), bad} {
+		out, errOut, code := run(t, "-scenario", scen)
+		if code == 0 {
+			t.Errorf("%s: want non-zero exit", scen)
+		}
+		if out != "" {
+			t.Errorf("%s: unexpected stdout: %q", scen, out)
+		}
+		lines := strings.Split(strings.TrimRight(errOut, "\n"), "\n")
+		if len(lines) != 1 || !strings.HasPrefix(lines[0], "elastic-serve:") {
+			t.Errorf("%s: want one 'elastic-serve:' stderr line, got %q", scen, errOut)
+		}
+		if strings.Contains(errOut, "panic") || strings.Contains(errOut, "Usage") {
+			t.Errorf("%s: noisy failure output:\n%s", scen, errOut)
 		}
 	}
 }

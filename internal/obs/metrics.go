@@ -177,6 +177,110 @@ func writeSorted[V any](w io.Writer, kind string, vals map[string]V, render func
 	return nil
 }
 
+// CounterPoint is one counter in a Snapshot.
+type CounterPoint struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugePoint is one gauge in a Snapshot.
+type GaugePoint struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistPoint is one histogram in a Snapshot (a value copy of the live
+// histogram, buckets included).
+type HistPoint struct {
+	Name string    `json:"name"`
+	Hist Histogram `json:"hist"`
+}
+
+// MetricsSnapshot is a deterministic, self-contained copy of a registry:
+// every slice is sorted by metric name, and nothing aliases live registry
+// state, so two snapshots of equal registries marshal byte-identically
+// regardless of map iteration order. This is the payload behind the wire
+// protocol's MetricsSnapshot frame and the building block for metrics
+// diffing.
+type MetricsSnapshot struct {
+	Counters []CounterPoint `json:"counters,omitempty"`
+	Gauges   []GaugePoint   `json:"gauges,omitempty"`
+	Hists    []HistPoint    `json:"histograms,omitempty"`
+}
+
+// Snapshot returns a sorted, deterministic copy of the registry. A nil
+// registry yields the zero snapshot.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	var s MetricsSnapshot
+	if m == nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, v := range m.counters {
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: v})
+	}
+	for name, v := range m.gauges {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: v})
+	}
+	for name, h := range m.hists {
+		s.Hists = append(s.Hists, HistPoint{Name: name, Hist: *h})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	return s
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition format:
+// counters and gauges as bare samples, histograms as the conventional
+// _bucket/_sum/_count series with cumulative le labels. Metric names have
+// dots and dashes mapped to underscores. Output order follows the
+// snapshot's sorted order, so it is deterministic.
+func (s MetricsSnapshot) WriteProm(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(c.Name), promName(c.Name), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", promName(g.Name), promName(g.Name), g.Value); err != nil {
+			return err
+		}
+	}
+	for _, hp := range s.Hists {
+		name := promName(hp.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, ub := range histBuckets {
+			cum += hp.Hist.Buckets[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", ub), cum); err != nil {
+				return err
+			}
+		}
+		cum += hp.Hist.Buckets[len(histBuckets)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			name, cum, name, hp.Hist.Sum, name, hp.Hist.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry metric name onto the Prometheus charset.
+func promName(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		switch c {
+		case '.', '-', ' ':
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
 // Export returns a JSON-marshalable snapshot of the registry. Maps encode
 // with sorted keys under encoding/json, so the export is deterministic.
 func (m *Metrics) Export() map[string]interface{} {

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotSortedDeterministic: snapshots of registries built in
+// different insertion orders marshal byte-identically — the map-iteration
+// flakiness guard MetricsSnapshot exists for.
+func TestSnapshotSortedDeterministic(t *testing.T) {
+	names := []string{"z.last", "a.first", "m.mid", "b.second", "q.tail"}
+	build := func(order []string) *Metrics {
+		m := NewMetrics()
+		for i, n := range order {
+			m.Add("c."+n, int64(i+1))
+			m.SetGauge("g."+n, float64(i)*1.5)
+			m.Observe("h."+n, float64(i)+0.25)
+		}
+		return m
+	}
+	fwd := build(names)
+	rev := append([]string(nil), names...)
+	sort.Sort(sort.Reverse(sort.StringSlice(rev)))
+	bwd := NewMetrics()
+	for _, n := range rev {
+		// Recreate the forward registry's values under reversed insertion.
+		for i, orig := range names {
+			if orig == n {
+				bwd.Add("c."+n, int64(i+1))
+				bwd.SetGauge("g."+n, float64(i)*1.5)
+				bwd.Observe("h."+n, float64(i)+0.25)
+			}
+		}
+	}
+
+	a, err := json.Marshal(fwd.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	b, err := json.Marshal(bwd.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshots differ:\n%s\n%s", a, b)
+	}
+
+	s := fwd.Snapshot()
+	if !sort.SliceIsSorted(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name }) {
+		t.Fatal("counters not sorted")
+	}
+	if !sort.SliceIsSorted(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name }) {
+		t.Fatal("gauges not sorted")
+	}
+	if !sort.SliceIsSorted(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name }) {
+		t.Fatal("histograms not sorted")
+	}
+}
+
+// TestSnapshotIsACopy: mutating the registry after Snapshot must not move
+// the snapshot's values.
+func TestSnapshotIsACopy(t *testing.T) {
+	m := NewMetrics()
+	m.Add("requests", 7)
+	m.Observe("latency", 0.5)
+	s := m.Snapshot()
+	m.Add("requests", 100)
+	m.Observe("latency", 9)
+	if s.Counters[0].Value != 7 {
+		t.Fatalf("counter moved: %d", s.Counters[0].Value)
+	}
+	if s.Hists[0].Hist.Count != 1 || s.Hists[0].Hist.Sum != 0.5 {
+		t.Fatalf("histogram moved: %+v", s.Hists[0].Hist)
+	}
+}
+
+// TestSnapshotNil: a nil registry yields the zero snapshot, and the zero
+// snapshot renders to empty Prometheus text.
+func TestSnapshotNil(t *testing.T) {
+	var m *Metrics
+	s := m.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Hists) != 0 {
+		t.Fatalf("nil registry produced points: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("zero snapshot rendered %q", buf.String())
+	}
+}
+
+// TestSnapshotProm: the Prometheus rendering carries every metric with
+// sanitized names and cumulative histogram buckets.
+func TestSnapshotProm(t *testing.T) {
+	m := NewMetrics()
+	m.Add("server.requests", 3)
+	m.SetGauge("server.inflight", 2)
+	m.Observe("server.latency", 0.005) // bucket le=0.01
+	m.Observe("server.latency", 0.5)   // bucket le=1
+	var buf bytes.Buffer
+	if err := m.Snapshot().WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"server_requests 3",
+		"server_inflight 2",
+		`server_latency_bucket{le="0.01"} 1`,
+		`server_latency_bucket{le="1"} 2`,
+		`server_latency_bucket{le="+Inf"} 2`,
+		"server_latency_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// The HTTP sidecar exposes operational visibility next to the binary
+// protocol port: Prometheus-style metrics at /metrics and the standard
+// pprof endpoints under /debug/pprof/. It deliberately shares nothing
+// with the wire protocol — a scrape can never consume a session slot.
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"elasticml/internal/obs"
+)
+
+// NewHTTPHandler builds the sidecar mux over a live metrics registry.
+func NewHTTPHandler(met *obs.Metrics) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		met.Snapshot().WriteProm(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

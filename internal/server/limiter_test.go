@@ -1,0 +1,67 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLimiterTokenBucket: deterministic refill behavior under a fake clock.
+func TestLimiterTokenBucket(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	l := NewLimiter(LimiterPolicy{BytesPerSec: 100, Burst: 200}, clock)
+
+	if !l.AllowBytes(200) {
+		t.Fatal("full bucket refused its burst")
+	}
+	if l.AllowBytes(1) {
+		t.Fatal("empty bucket admitted a byte")
+	}
+	now = now.Add(500 * time.Millisecond) // +50 tokens
+	if !l.AllowBytes(50) {
+		t.Fatal("refilled bucket refused 50 bytes")
+	}
+	if l.AllowBytes(1) {
+		t.Fatal("drained bucket admitted a byte")
+	}
+	now = now.Add(time.Hour) // refill clamps at burst
+	if l.AllowBytes(201) {
+		t.Fatal("bucket exceeded its burst capacity")
+	}
+	if !l.AllowBytes(200) {
+		t.Fatal("clamped bucket refused its burst")
+	}
+}
+
+// TestLimiterInflightCap: acquire/release bookkeeping.
+func TestLimiterInflightCap(t *testing.T) {
+	l := NewLimiter(LimiterPolicy{MaxInflight: 2}, nil)
+	if !l.AcquireJob() || !l.AcquireJob() {
+		t.Fatal("cap refused jobs under the limit")
+	}
+	if l.AcquireJob() {
+		t.Fatal("cap admitted a third job")
+	}
+	l.ReleaseJob()
+	if !l.AcquireJob() {
+		t.Fatal("released slot not reusable")
+	}
+	if got := l.Inflight(); got != 2 {
+		t.Fatalf("inflight %d, want 2", got)
+	}
+}
+
+// TestLimiterDisabled: a nil limiter and a zero policy admit everything.
+func TestLimiterDisabled(t *testing.T) {
+	var nilL *Limiter
+	if !nilL.AllowBytes(1<<30) || !nilL.AcquireJob() {
+		t.Fatal("nil limiter rejected")
+	}
+	nilL.ReleaseJob()
+	l := NewLimiter(LimiterPolicy{}, nil)
+	for i := 0; i < 100; i++ {
+		if !l.AllowBytes(1<<20) || !l.AcquireJob() {
+			t.Fatal("zero policy rejected")
+		}
+	}
+}

@@ -1,0 +1,775 @@
+// Wire protocol of the elastic optimizer daemon: a compact length-prefixed
+// binary framing with typed messages.
+//
+// Frame layout (network byte order / big endian):
+//
+//	+----------------+--------+----------------------+
+//	| u32 length     | u8 type| payload (length-1 B) |
+//	+----------------+--------+----------------------+
+//
+// length counts the type byte plus the payload, so the smallest legal
+// frame is length 1 (a bare type with no payload). Frames above the
+// negotiated maximum are rejected with ErrFrameTooLarge before any payload
+// is read; a reader that hits EOF mid-frame surfaces ErrTruncatedFrame.
+// Payload fields are fixed-width big-endian integers, IEEE-754 bit
+// patterns for floats, and u32-length-prefixed UTF-8 for strings.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"elasticml/internal/obs"
+)
+
+// ProtoVersion is the protocol version this build speaks. Hello carries the
+// client's version; the server rejects mismatches with a typed error frame
+// before any other traffic.
+const ProtoVersion uint16 = 1
+
+// DefaultMaxFrame bounds a frame's length field (type byte + payload).
+const DefaultMaxFrame = 1 << 20
+
+// Typed protocol errors. Framing errors (too large, truncated, garbage)
+// are connection-fatal; ErrVersionMismatch is returned by the handshake.
+var (
+	ErrFrameTooLarge   = errors.New("proto: frame exceeds maximum size")
+	ErrTruncatedFrame  = errors.New("proto: truncated frame")
+	ErrUnknownMessage  = errors.New("proto: unknown message type")
+	ErrMalformed       = errors.New("proto: malformed payload")
+	ErrVersionMismatch = errors.New("proto: protocol version mismatch")
+	// ErrOverloaded is the typed shed condition: the admission limiter (or
+	// session pool) rejected the request. It surfaces on the wire as an
+	// Error frame with CodeOverloaded — never as a dropped connection.
+	ErrOverloaded = errors.New("server: overloaded, request shed")
+)
+
+// MsgType tags a frame.
+type MsgType uint8
+
+// The protocol's message types.
+const (
+	TypeHello MsgType = iota + 1
+	TypeHelloAck
+	TypeSubmitJob
+	TypeJobAccepted
+	TypeJobStatus
+	TypeJobStatusAck
+	TypeJobResult
+	TypeCancelJob
+	TypeCancelAck
+	TypeMetricsRequest
+	TypeMetricsSnapshot
+	TypePing
+	TypePong
+	TypeError
+	typeMax // one past the last valid type
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "Hello"
+	case TypeHelloAck:
+		return "HelloAck"
+	case TypeSubmitJob:
+		return "SubmitJob"
+	case TypeJobAccepted:
+		return "JobAccepted"
+	case TypeJobStatus:
+		return "JobStatus"
+	case TypeJobStatusAck:
+		return "JobStatusAck"
+	case TypeJobResult:
+		return "JobResult"
+	case TypeCancelJob:
+		return "CancelJob"
+	case TypeCancelAck:
+		return "CancelAck"
+	case TypeMetricsRequest:
+		return "MetricsRequest"
+	case TypeMetricsSnapshot:
+		return "MetricsSnapshot"
+	case TypePing:
+		return "Ping"
+	case TypePong:
+		return "Pong"
+	case TypeError:
+		return "Error"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// ErrCode classifies an Error frame.
+type ErrCode uint16
+
+const (
+	CodeOverloaded ErrCode = iota + 1
+	CodeBadRequest
+	CodeUnknownJob
+	CodeShuttingDown
+	CodeVersionMismatch
+	CodeInternal
+)
+
+func (c ErrCode) String() string {
+	switch c {
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeUnknownJob:
+		return "unknown-job"
+	case CodeShuttingDown:
+		return "shutting-down"
+	case CodeVersionMismatch:
+		return "version-mismatch"
+	case CodeInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("code(%d)", uint16(c))
+}
+
+// Message is one decoded protocol message.
+type Message interface {
+	Type() MsgType
+	encode(*encoder)
+	decode(*decoder)
+}
+
+// Hello opens a session (client → server).
+type Hello struct {
+	Version uint16
+	Client  string
+}
+
+// HelloAck accepts a session (server → client) and advertises the frame
+// budget the server enforces.
+type HelloAck struct {
+	Version  uint16
+	Server   string
+	MaxFrame uint32
+}
+
+// ParamKind tags a SubmitJob parameter value.
+type ParamKind uint8
+
+const (
+	ParamFloat ParamKind = iota
+	ParamInt
+	ParamString
+	ParamBool
+)
+
+// Param is one named DML parameter of a source-mode submission.
+type Param struct {
+	Key  string
+	Kind ParamKind
+	F    float64
+	I    int64
+	S    string
+	B    bool
+}
+
+// SubmitJob submits one DML job (client → server). Script-mode submissions
+// name an evaluation script plus a data scenario; source-mode submissions
+// (Script == "") carry raw DML source and typed parameters.
+type SubmitJob struct {
+	ReqID    uint64
+	Tenant   string
+	Script   string
+	Size     string
+	Cols     int64
+	Sparsity float64
+	Source   string
+	Params   []Param
+}
+
+// JobAccepted acknowledges a submission (server → client) with the job id
+// and the simulated arrival time the sequencer assigned.
+type JobAccepted struct {
+	ReqID   uint64
+	Job     uint32
+	Arrival float64
+}
+
+// JobStatus queries one job's lifecycle state (client → server).
+type JobStatus struct {
+	ReqID uint64
+	Job   uint32
+}
+
+// JobStatusAck answers a status query (server → client).
+type JobStatusAck struct {
+	ReqID    uint64
+	Job      uint32
+	State    string
+	Tenant   string
+	Arrival  float64
+	Admitted float64
+	Finished float64
+}
+
+// ResultFlags pack a JobResult's booleans.
+type ResultFlags uint8
+
+const (
+	FlagServed ResultFlags = 1 << iota
+	FlagCacheHit
+	FlagDegraded
+	FlagShed
+	FlagFailedPerm
+	FlagCanceled
+)
+
+// JobResult streams a terminal job outcome (server → client) with the
+// cost/plan summary. All times are simulated seconds.
+type JobResult struct {
+	Job        uint32
+	Tenant     string
+	Program    string
+	Config     string
+	Flags      ResultFlags
+	Arrival    float64
+	Admitted   float64
+	Finished   float64
+	QueueDelay float64
+	Latency    float64
+	WastedWork float64
+	Reopts     uint32
+	Requeues   uint32
+	OutputHash string
+	Error      string
+}
+
+// CancelJob requests termination of a submitted job (client → server).
+type CancelJob struct {
+	ReqID uint64
+	Job   uint32
+}
+
+// CancelAck answers a cancellation (server → client); OK is false when the
+// job was already terminal.
+type CancelAck struct {
+	ReqID uint64
+	Job   uint32
+	OK    bool
+}
+
+// MetricsRequest asks for a live metrics snapshot (client → server).
+type MetricsRequest struct {
+	ReqID uint64
+}
+
+// MetricsFrame carries a sorted, deterministic metrics snapshot
+// (server → client).
+type MetricsFrame struct {
+	ReqID    uint64
+	Snapshot obs.MetricsSnapshot
+}
+
+// Ping / Pong are the liveness probe pair.
+type Ping struct{ ReqID uint64 }
+type Pong struct{ ReqID uint64 }
+
+// ErrorFrame reports a per-request failure (server → client). The session
+// stays open: protocol-level sheds and rejections are frames, not
+// connection drops.
+type ErrorFrame struct {
+	ReqID uint64
+	Code  ErrCode
+	Msg   string
+}
+
+func (e *ErrorFrame) Err() error {
+	base := error(nil)
+	switch e.Code {
+	case CodeOverloaded:
+		base = ErrOverloaded
+	case CodeVersionMismatch:
+		base = ErrVersionMismatch
+	}
+	if base != nil {
+		return fmt.Errorf("%w: %s", base, e.Msg)
+	}
+	return fmt.Errorf("server: %s: %s", e.Code, e.Msg)
+}
+
+func (m *Hello) Type() MsgType          { return TypeHello }
+func (m *HelloAck) Type() MsgType       { return TypeHelloAck }
+func (m *SubmitJob) Type() MsgType      { return TypeSubmitJob }
+func (m *JobAccepted) Type() MsgType    { return TypeJobAccepted }
+func (m *JobStatus) Type() MsgType      { return TypeJobStatus }
+func (m *JobStatusAck) Type() MsgType   { return TypeJobStatusAck }
+func (m *JobResult) Type() MsgType      { return TypeJobResult }
+func (m *CancelJob) Type() MsgType      { return TypeCancelJob }
+func (m *CancelAck) Type() MsgType      { return TypeCancelAck }
+func (m *MetricsRequest) Type() MsgType { return TypeMetricsRequest }
+func (m *MetricsFrame) Type() MsgType   { return TypeMetricsSnapshot }
+func (m *Ping) Type() MsgType           { return TypePing }
+func (m *Pong) Type() MsgType           { return TypePong }
+func (m *ErrorFrame) Type() MsgType     { return TypeError }
+
+// newMessage allocates the zero message for a frame type.
+func newMessage(t MsgType) (Message, bool) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, true
+	case TypeHelloAck:
+		return &HelloAck{}, true
+	case TypeSubmitJob:
+		return &SubmitJob{}, true
+	case TypeJobAccepted:
+		return &JobAccepted{}, true
+	case TypeJobStatus:
+		return &JobStatus{}, true
+	case TypeJobStatusAck:
+		return &JobStatusAck{}, true
+	case TypeJobResult:
+		return &JobResult{}, true
+	case TypeCancelJob:
+		return &CancelJob{}, true
+	case TypeCancelAck:
+		return &CancelAck{}, true
+	case TypeMetricsRequest:
+		return &MetricsRequest{}, true
+	case TypeMetricsSnapshot:
+		return &MetricsFrame{}, true
+	case TypePing:
+		return &Ping{}, true
+	case TypePong:
+		return &Pong{}, true
+	case TypeError:
+		return &ErrorFrame{}, true
+	}
+	return nil, false
+}
+
+// --- encoder / decoder -------------------------------------------------
+
+type encoder struct{ b []byte }
+
+func (e *encoder) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *encoder) u16(v uint16) { e.b = binary.BigEndian.AppendUint16(e.b, v) }
+func (e *encoder) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *encoder) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *encoder) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// decoder reads payload fields, latching the first error; every getter is
+// safe to call after a failure and returns the zero value.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrMalformed
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *decoder) u8() uint8 {
+	s := d.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+func (d *decoder) u16() uint16 {
+	s := d.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(s)
+}
+func (d *decoder) u32() uint32 {
+	s := d.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(s)
+}
+func (d *decoder) u64() uint64 {
+	s := d.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(s)
+}
+func (d *decoder) i64() int64    { return int64(d.u64()) }
+func (d *decoder) f64() float64  { return math.Float64frombits(d.u64()) }
+func (d *decoder) boolean() bool { return d.u8() != 0 }
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil || uint64(n) > uint64(len(d.b)-d.off) {
+		d.fail()
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+// done rejects trailing garbage after a fully decoded payload.
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(d.b)-d.off)
+	}
+	return nil
+}
+
+// --- per-message payloads ----------------------------------------------
+
+func (m *Hello) encode(e *encoder) {
+	e.u16(m.Version)
+	e.str(m.Client)
+}
+func (m *Hello) decode(d *decoder) {
+	m.Version = d.u16()
+	m.Client = d.str()
+}
+
+func (m *HelloAck) encode(e *encoder) {
+	e.u16(m.Version)
+	e.str(m.Server)
+	e.u32(m.MaxFrame)
+}
+func (m *HelloAck) decode(d *decoder) {
+	m.Version = d.u16()
+	m.Server = d.str()
+	m.MaxFrame = d.u32()
+}
+
+func (m *SubmitJob) encode(e *encoder) {
+	e.u64(m.ReqID)
+	e.str(m.Tenant)
+	e.str(m.Script)
+	e.str(m.Size)
+	e.i64(m.Cols)
+	e.f64(m.Sparsity)
+	e.str(m.Source)
+	e.u32(uint32(len(m.Params)))
+	for _, p := range m.Params {
+		e.str(p.Key)
+		e.u8(uint8(p.Kind))
+		switch p.Kind {
+		case ParamFloat:
+			e.f64(p.F)
+		case ParamInt:
+			e.i64(p.I)
+		case ParamString:
+			e.str(p.S)
+		case ParamBool:
+			e.boolean(p.B)
+		}
+	}
+}
+func (m *SubmitJob) decode(d *decoder) {
+	m.ReqID = d.u64()
+	m.Tenant = d.str()
+	m.Script = d.str()
+	m.Size = d.str()
+	m.Cols = d.i64()
+	m.Sparsity = d.f64()
+	m.Source = d.str()
+	n := d.u32()
+	if d.err != nil || uint64(n) > uint64(len(d.b)-d.off) {
+		d.fail()
+		return
+	}
+	if n > 0 {
+		m.Params = make([]Param, 0, n)
+	}
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		var p Param
+		p.Key = d.str()
+		p.Kind = ParamKind(d.u8())
+		switch p.Kind {
+		case ParamFloat:
+			p.F = d.f64()
+		case ParamInt:
+			p.I = d.i64()
+		case ParamString:
+			p.S = d.str()
+		case ParamBool:
+			p.B = d.boolean()
+		default:
+			d.fail()
+		}
+		m.Params = append(m.Params, p)
+	}
+}
+
+func (m *JobAccepted) encode(e *encoder) {
+	e.u64(m.ReqID)
+	e.u32(m.Job)
+	e.f64(m.Arrival)
+}
+func (m *JobAccepted) decode(d *decoder) {
+	m.ReqID = d.u64()
+	m.Job = d.u32()
+	m.Arrival = d.f64()
+}
+
+func (m *JobStatus) encode(e *encoder) {
+	e.u64(m.ReqID)
+	e.u32(m.Job)
+}
+func (m *JobStatus) decode(d *decoder) {
+	m.ReqID = d.u64()
+	m.Job = d.u32()
+}
+
+func (m *JobStatusAck) encode(e *encoder) {
+	e.u64(m.ReqID)
+	e.u32(m.Job)
+	e.str(m.State)
+	e.str(m.Tenant)
+	e.f64(m.Arrival)
+	e.f64(m.Admitted)
+	e.f64(m.Finished)
+}
+func (m *JobStatusAck) decode(d *decoder) {
+	m.ReqID = d.u64()
+	m.Job = d.u32()
+	m.State = d.str()
+	m.Tenant = d.str()
+	m.Arrival = d.f64()
+	m.Admitted = d.f64()
+	m.Finished = d.f64()
+}
+
+func (m *JobResult) encode(e *encoder) {
+	e.u32(m.Job)
+	e.str(m.Tenant)
+	e.str(m.Program)
+	e.str(m.Config)
+	e.u8(uint8(m.Flags))
+	e.f64(m.Arrival)
+	e.f64(m.Admitted)
+	e.f64(m.Finished)
+	e.f64(m.QueueDelay)
+	e.f64(m.Latency)
+	e.f64(m.WastedWork)
+	e.u32(m.Reopts)
+	e.u32(m.Requeues)
+	e.str(m.OutputHash)
+	e.str(m.Error)
+}
+func (m *JobResult) decode(d *decoder) {
+	m.Job = d.u32()
+	m.Tenant = d.str()
+	m.Program = d.str()
+	m.Config = d.str()
+	m.Flags = ResultFlags(d.u8())
+	m.Arrival = d.f64()
+	m.Admitted = d.f64()
+	m.Finished = d.f64()
+	m.QueueDelay = d.f64()
+	m.Latency = d.f64()
+	m.WastedWork = d.f64()
+	m.Reopts = d.u32()
+	m.Requeues = d.u32()
+	m.OutputHash = d.str()
+	m.Error = d.str()
+}
+
+func (m *CancelJob) encode(e *encoder) {
+	e.u64(m.ReqID)
+	e.u32(m.Job)
+}
+func (m *CancelJob) decode(d *decoder) {
+	m.ReqID = d.u64()
+	m.Job = d.u32()
+}
+
+func (m *CancelAck) encode(e *encoder) {
+	e.u64(m.ReqID)
+	e.u32(m.Job)
+	e.boolean(m.OK)
+}
+func (m *CancelAck) decode(d *decoder) {
+	m.ReqID = d.u64()
+	m.Job = d.u32()
+	m.OK = d.boolean()
+}
+
+func (m *MetricsRequest) encode(e *encoder) { e.u64(m.ReqID) }
+func (m *MetricsRequest) decode(d *decoder) { m.ReqID = d.u64() }
+
+func (m *MetricsFrame) encode(e *encoder) {
+	e.u64(m.ReqID)
+	e.u32(uint32(len(m.Snapshot.Counters)))
+	for _, c := range m.Snapshot.Counters {
+		e.str(c.Name)
+		e.i64(c.Value)
+	}
+	e.u32(uint32(len(m.Snapshot.Gauges)))
+	for _, g := range m.Snapshot.Gauges {
+		e.str(g.Name)
+		e.f64(g.Value)
+	}
+	e.u32(uint32(len(m.Snapshot.Hists)))
+	for _, hp := range m.Snapshot.Hists {
+		e.str(hp.Name)
+		e.i64(hp.Hist.Count)
+		e.f64(hp.Hist.Sum)
+		e.f64(hp.Hist.Min)
+		e.f64(hp.Hist.Max)
+		e.u8(uint8(len(hp.Hist.Buckets)))
+		for _, b := range hp.Hist.Buckets {
+			e.i64(b)
+		}
+	}
+}
+func (m *MetricsFrame) decode(d *decoder) {
+	m.ReqID = d.u64()
+	nc := d.u32()
+	if d.err != nil || uint64(nc) > uint64(len(d.b)-d.off) {
+		d.fail()
+		return
+	}
+	for i := uint32(0); i < nc && d.err == nil; i++ {
+		m.Snapshot.Counters = append(m.Snapshot.Counters,
+			obs.CounterPoint{Name: d.str(), Value: d.i64()})
+	}
+	ng := d.u32()
+	if d.err != nil || uint64(ng) > uint64(len(d.b)-d.off) {
+		d.fail()
+		return
+	}
+	for i := uint32(0); i < ng && d.err == nil; i++ {
+		m.Snapshot.Gauges = append(m.Snapshot.Gauges,
+			obs.GaugePoint{Name: d.str(), Value: d.f64()})
+	}
+	nh := d.u32()
+	if d.err != nil || uint64(nh) > uint64(len(d.b)-d.off) {
+		d.fail()
+		return
+	}
+	for i := uint32(0); i < nh && d.err == nil; i++ {
+		var hp obs.HistPoint
+		hp.Name = d.str()
+		hp.Hist.Count = d.i64()
+		hp.Hist.Sum = d.f64()
+		hp.Hist.Min = d.f64()
+		hp.Hist.Max = d.f64()
+		nb := int(d.u8())
+		if nb != len(hp.Hist.Buckets) {
+			d.fail()
+			return
+		}
+		for k := 0; k < nb && d.err == nil; k++ {
+			hp.Hist.Buckets[k] = d.i64()
+		}
+		m.Snapshot.Hists = append(m.Snapshot.Hists, hp)
+	}
+}
+
+func (m *Ping) encode(e *encoder) { e.u64(m.ReqID) }
+func (m *Ping) decode(d *decoder) { m.ReqID = d.u64() }
+func (m *Pong) encode(e *encoder) { e.u64(m.ReqID) }
+func (m *Pong) decode(d *decoder) { m.ReqID = d.u64() }
+
+func (m *ErrorFrame) encode(e *encoder) {
+	e.u64(m.ReqID)
+	e.u16(uint16(m.Code))
+	e.str(m.Msg)
+}
+func (m *ErrorFrame) decode(d *decoder) {
+	m.ReqID = d.u64()
+	m.Code = ErrCode(d.u16())
+	m.Msg = d.str()
+}
+
+// --- frame I/O ----------------------------------------------------------
+
+// EncodeFrame serializes a message into a complete frame (header included).
+func EncodeFrame(m Message, maxFrame uint32) ([]byte, error) {
+	e := &encoder{b: make([]byte, 5, 64)}
+	e.b[4] = byte(m.Type())
+	m.encode(e)
+	length := uint32(len(e.b) - 4)
+	if maxFrame > 0 && length > maxFrame {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, length, maxFrame)
+	}
+	binary.BigEndian.PutUint32(e.b[:4], length)
+	return e.b, nil
+}
+
+// WriteFrame encodes and writes one frame.
+func WriteFrame(w io.Writer, m Message, maxFrame uint32) error {
+	b, err := EncodeFrame(m, maxFrame)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadFrame reads and decodes one frame. maxFrame == 0 means
+// DefaultMaxFrame. Returns io.EOF only on a clean EOF at a frame boundary;
+// EOF inside a frame is ErrTruncatedFrame.
+func ReadFrame(r io.Reader, maxFrame uint32) (Message, error) {
+	if maxFrame == 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, ErrTruncatedFrame
+		}
+		return nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:])
+	if length == 0 {
+		return nil, fmt.Errorf("%w: zero-length frame", ErrMalformed)
+	}
+	if length > maxFrame {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, length, maxFrame)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, ErrTruncatedFrame
+	}
+	t := MsgType(body[0])
+	m, ok := newMessage(t)
+	if !ok {
+		return nil, fmt.Errorf("%w: type %d", ErrUnknownMessage, uint8(t))
+	}
+	d := &decoder{b: body[1:]}
+	m.decode(d)
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("%s: %w", t, err)
+	}
+	return m, nil
+}

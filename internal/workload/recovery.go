@@ -17,6 +17,9 @@ var (
 	// the service was shedding new admissions when the job reached the
 	// head of the queue.
 	ErrAdmissionShed = errors.New("workload: admission shed by circuit breaker")
+	// ErrCanceled marks a tenant whose job was terminated on client
+	// request (the network frontend's CancelJob path).
+	ErrCanceled = errors.New("workload: job canceled")
 )
 
 // RetryExhaustedError is the typed terminal failure attached to a tenant

@@ -52,6 +52,8 @@ type TenantResult struct {
 	FailedPermanently bool `json:"failed_permanently,omitempty"`
 	// Shed marks a tenant rejected by the open circuit breaker.
 	Shed bool `json:"shed,omitempty"`
+	// Canceled marks a tenant terminated on client request.
+	Canceled bool `json:"canceled,omitempty"`
 	// Served is false for tenants the shrunken cluster could never admit.
 	Served bool `json:"served"`
 
@@ -106,9 +108,11 @@ type Report struct {
 	NodeRestores   int `json:"node_restores,omitempty"`
 	SlowNodeEvents int `json:"slow_node_events,omitempty"`
 	// FailedPermanently counts tenants whose retry budget ran out; Shed
-	// counts tenants rejected by the open circuit breaker.
+	// counts tenants rejected by the open circuit breaker; Canceled counts
+	// tenants terminated on client request.
 	FailedPermanently int `json:"failed_permanently,omitempty"`
 	Shed              int `json:"shed,omitempty"`
+	Canceled          int `json:"canceled,omitempty"`
 	// WastedWork totals the simulated seconds of discarded progress across
 	// all container losses (work past the last checkpoint, re-done later).
 	WastedWork float64 `json:"wasted_work,omitempty"`
@@ -129,9 +133,10 @@ func (r *Report) finalize(usedIntegral, capIntegral float64) {
 	for _, t := range r.Tenants {
 		if !t.Served {
 			// Terminal outcomes with their own counters (budget
-			// exhaustion, breaker shedding) are not "unserved": the
-			// service made a decision, it did not run out of events.
-			if !t.FailedPermanently && !t.Shed {
+			// exhaustion, breaker shedding, cancellation) are not
+			// "unserved": the service made a decision, it did not run
+			// out of events.
+			if !t.FailedPermanently && !t.Shed && !t.Canceled {
 				r.Unserved++
 			}
 			continue
@@ -214,6 +219,8 @@ func (r *Report) WriteTable(w io.Writer) error {
 				flags = "FAILED-PERM"
 			case t.Shed:
 				flags = "SHED"
+			case t.Canceled:
+				flags = "CANCELED"
 			case t.Error != "":
 				flags = "ERROR"
 			default:

@@ -82,7 +82,34 @@ const (
 	jsFailedPerm                 // retry budget exhausted — terminal failure
 	jsShed                       // rejected by the circuit breaker
 	jsUnserved                   // still queued when the simulation drained
+	jsCanceled                   // terminated on client request
 )
+
+func (st jobState) String() string {
+	switch st {
+	case jsPending:
+		return "pending"
+	case jsQueued:
+		return "queued"
+	case jsRunning:
+		return "running"
+	case jsBackoff:
+		return "backoff"
+	case jsDone:
+		return "done"
+	case jsFailed:
+		return "failed"
+	case jsFailedPerm:
+		return "failed-permanently"
+	case jsShed:
+		return "shed"
+	case jsUnserved:
+		return "unserved"
+	case jsCanceled:
+		return "canceled"
+	}
+	return "unknown"
+}
 
 // job is the service-side state of one tenant submission.
 type job struct {
@@ -160,6 +187,12 @@ type Service struct {
 	evs   eventHeap
 	seq   int
 	chaos []fault.NodeEvent // expanded chaos schedule, indexed by event.chaos
+	// chaosScheduled guards scheduleChaos against double expansion when a
+	// live frontend schedules chaos at construction.
+	chaosScheduled bool
+	// finished accumulates job indices that reached a terminal state since
+	// the last DrainFinished call — the live frontend's result stream.
+	finished []int
 
 	now          float64
 	lastT        float64
@@ -208,26 +241,63 @@ func (s *Service) Run(specs []JobSpec) (*Report, error) {
 	if err := validate(specs, s.cc.Nodes, s.opts.NodeFailures, s.opts.Chaos); err != nil {
 		return nil, err
 	}
-	s.jobs = make([]*job, len(specs))
-	for i, spec := range specs {
-		j := &job{idx: i, spec: spec, slow: 1}
-		tenant := spec.Tenant
-		if tenant == "" {
-			tenant = fmt.Sprintf("tenant-%02d", i)
-		}
-		j.result = TenantResult{
-			Tenant:  tenant,
-			Program: spec.name(),
-			Arrival: spec.Arrival,
-		}
-		if spec.Source == "" {
-			j.result.Scenario = fmt.Sprintf("%s/%s", spec.Scenario.Size, spec.Scenario.ShapeName())
-		}
-		s.jobs[i] = j
-		s.push(event{at: spec.Arrival, kind: evArrive, job: i})
+	for _, spec := range specs {
+		s.submit(spec)
 	}
-	// The chaos schedule merges the legacy single-node failures with the
-	// expanded chaos plan; both are pure functions of the options.
+	s.ScheduleChaos()
+	for s.Step() {
+	}
+	return s.Finalize(), nil
+}
+
+// submit registers one job and pushes its arrival event, returning the
+// job's index.
+func (s *Service) submit(spec JobSpec) int {
+	i := len(s.jobs)
+	j := &job{idx: i, spec: spec, slow: 1}
+	tenant := spec.Tenant
+	if tenant == "" {
+		tenant = fmt.Sprintf("tenant-%02d", i)
+	}
+	j.result = TenantResult{
+		Tenant:  tenant,
+		Program: spec.name(),
+		Arrival: spec.Arrival,
+	}
+	if spec.Source == "" {
+		j.result.Scenario = fmt.Sprintf("%s/%s", spec.Scenario.Size, spec.Scenario.ShapeName())
+	}
+	s.jobs = append(s.jobs, j)
+	s.push(event{at: spec.Arrival, kind: evArrive, job: i})
+	return i
+}
+
+// Submit adds one job to a live service and returns its index. Unlike the
+// batch Run entry point, arrivals stream in one at a time; the caller (the
+// network sequencer) must assign monotone arrival times at or after the
+// simulation frontier, so the discrete-event loop never travels backwards.
+func (s *Service) Submit(spec JobSpec) (int, error) {
+	if spec.Source == "" && spec.Script.Source == "" {
+		return 0, fmt.Errorf("workload: submit %q: neither a script nor a source", spec.Tenant)
+	}
+	if spec.Arrival < 0 {
+		return 0, fmt.Errorf("workload: submit %q: negative arrival %g", spec.Tenant, spec.Arrival)
+	}
+	if spec.Arrival < s.lastT {
+		return 0, fmt.Errorf("workload: submit %q: arrival %g before frontier %g", spec.Tenant, spec.Arrival, s.lastT)
+	}
+	return s.submit(spec), nil
+}
+
+// scheduleChaos expands and enqueues the chaos schedule: the legacy
+// single-node failures merged with the expanded chaos plan, both pure
+// functions of the options. Run calls it after the batch submits; a live
+// frontend calls it once at construction, before any submission.
+func (s *Service) ScheduleChaos() {
+	if s.chaosScheduled {
+		return
+	}
+	s.chaosScheduled = true
 	for _, nf := range s.opts.NodeFailures {
 		s.chaos = append(s.chaos, fault.NodeEvent{
 			Kind: fault.NodeDown, At: nf.At, Nodes: []int{nf.Node}, Cause: "fail",
@@ -237,54 +307,68 @@ func (s *Service) Run(specs []JobSpec) (*Report, error) {
 	for i, ne := range s.chaos {
 		s.push(event{at: ne.At, kind: evChaos, chaos: i})
 	}
+}
 
-	for len(s.evs) > 0 {
-		batch := s.popBatch()
-		s.advanceTo(batch[0].at)
-		failed, restored, departed := false, false, false
-		var retryJoins []int
-		for _, ev := range batch {
-			switch ev.kind {
-			case evChaos:
-				f, r := s.applyChaos(ev)
-				failed = failed || f
-				restored = restored || r
-			case evDepart:
-				if s.applyDepart(ev) {
-					departed = true
-				}
-			case evRetry:
-				if idx, ok := s.applyRetry(ev); ok {
-					retryJoins = append(retryJoins, idx)
-				}
-			case evArrive:
-				s.applyArrive(ev)
-			}
-		}
-		// Failure victims rejoin at the queue front (they already waited
-		// their turn), in the order their retries were scheduled.
-		if len(retryJoins) > 0 {
-			s.queue = append(retryJoins, s.queue...)
-		}
-		// §5-style elastic re-optimization: every departure, node failure,
-		// and capacity restore re-evaluates the running jobs against the
-		// new cluster state before freed capacity is handed to the queue.
-		if failed {
-			s.reoptimize("failure")
-		} else if restored {
-			s.reoptimize("restore")
-		} else if departed {
-			s.reoptimize("departure")
-		}
-		s.tryAdmit()
+// Step processes the next event-time batch — chaos, departures, retries,
+// arrivals, the §5 re-optimization pass, and queue admission — and reports
+// whether any events remain. The event loop is the only mutator of service
+// state, so the per-step outcome is a pure function of the submission and
+// step history.
+func (s *Service) Step() bool {
+	if len(s.evs) == 0 {
+		return false
 	}
+	batch := s.popBatch()
+	s.advanceTo(batch[0].at)
+	failed, restored, departed := false, false, false
+	var retryJoins []int
+	for _, ev := range batch {
+		switch ev.kind {
+		case evChaos:
+			f, r := s.applyChaos(ev)
+			failed = failed || f
+			restored = restored || r
+		case evDepart:
+			if s.applyDepart(ev) {
+				departed = true
+			}
+		case evRetry:
+			if idx, ok := s.applyRetry(ev); ok {
+				retryJoins = append(retryJoins, idx)
+			}
+		case evArrive:
+			s.applyArrive(ev)
+		}
+	}
+	// Failure victims rejoin at the queue front (they already waited
+	// their turn), in the order their retries were scheduled.
+	if len(retryJoins) > 0 {
+		s.queue = append(retryJoins, s.queue...)
+	}
+	// §5-style elastic re-optimization: every departure, node failure,
+	// and capacity restore re-evaluates the running jobs against the
+	// new cluster state before freed capacity is handed to the queue.
+	if failed {
+		s.reoptimize("failure")
+	} else if restored {
+		s.reoptimize("restore")
+	} else if departed {
+		s.reoptimize("departure")
+	}
+	s.tryAdmit()
+	return true
+}
 
+// Finalize marks every job the drained event queue can no longer serve and
+// builds the report. After Finalize the service accepts no further work.
+func (s *Service) Finalize() *Report {
 	// The event queue drained; whatever is still waiting can never be
 	// admitted (the shrunken cluster has no chunk for the FIFO head and no
 	// further departures, failures, or restores will change that).
 	for _, j := range s.jobs {
 		if j.state == jsQueued || j.state == jsPending || j.state == jsBackoff {
 			j.state = jsUnserved
+			s.markTerminal(j)
 		}
 	}
 
@@ -301,7 +385,93 @@ func (s *Service) Run(specs []JobSpec) (*Report, error) {
 		m.SetGauge("workload.cache_hit_rate", rep.Cache.HitRate())
 		m.SetGauge("workload.p95_latency", rep.P95Latency)
 	}
-	return &rep, nil
+	return &rep
+}
+
+// Frontier returns the high-water mark of processed simulated time. Live
+// submissions must arrive at or after it.
+func (s *Service) Frontier() float64 { return s.lastT }
+
+// JobCount returns how many jobs have been submitted.
+func (s *Service) JobCount() int { return len(s.jobs) }
+
+// Result returns a copy of one job's current result; ok is false for an
+// out-of-range index.
+func (s *Service) Result(idx int) (TenantResult, bool) {
+	if idx < 0 || idx >= len(s.jobs) {
+		return TenantResult{}, false
+	}
+	return s.jobs[idx].result, true
+}
+
+// State returns one job's lifecycle state name ("queued", "running",
+// "done", ...); ok is false for an out-of-range index.
+func (s *Service) State(idx int) (string, bool) {
+	if idx < 0 || idx >= len(s.jobs) {
+		return "", false
+	}
+	return s.jobs[idx].state.String(), true
+}
+
+// markTerminal queues a terminal-state transition for DrainFinished.
+func (s *Service) markTerminal(j *job) {
+	s.finished = append(s.finished, j.idx)
+}
+
+// DrainFinished returns the indices of jobs that reached a terminal state
+// since the last call, in transition order — the live frontend's per-step
+// result stream.
+func (s *Service) DrainFinished() []int {
+	f := s.finished
+	s.finished = nil
+	return f
+}
+
+// Cancel terminates a job on client request. Queued, backoff, and pending
+// jobs are removed from the admission machinery; a running job releases its
+// container, which immediately re-opens admission for the queue (like any
+// departure, the freed capacity triggers a re-optimization pass). Returns
+// false if the job is unknown or already terminal.
+func (s *Service) Cancel(idx int) bool {
+	if idx < 0 || idx >= len(s.jobs) {
+		return false
+	}
+	j := s.jobs[idx]
+	wasRunning := false
+	switch j.state {
+	case jsPending, jsQueued, jsBackoff:
+		for k, q := range s.queue {
+			if q == idx {
+				s.queue = append(s.queue[:k], s.queue[k+1:]...)
+				break
+			}
+		}
+	case jsRunning:
+		wasRunning = true
+		if err := s.rm.Release(j.cont.ID); err != nil && !errors.Is(err, yarn.ErrUnknownContainer) {
+			s.tr.Complete(obs.LayerWorkload, "workload.release-error", s.now, 0,
+				obs.A("tenant", j.result.Tenant), obs.A("err", err.Error()))
+		}
+		j.cont = yarn.Container{}
+		s.running--
+	default:
+		return false // already terminal
+	}
+	j.gen++ // invalidate any scheduled departure or retry event
+	j.state = jsCanceled
+	j.result.Canceled = true
+	j.result.Err = fmt.Errorf("%w: %s", ErrCanceled, j.result.Tenant)
+	j.result.Error = j.result.Err.Error()
+	s.rep.Canceled++
+	s.markTerminal(j)
+	s.tr.Complete(obs.LayerWorkload, "workload.cancel", s.now, 0,
+		obs.A("tenant", j.result.Tenant))
+	s.tr.Metrics().Add("workload.canceled", 1)
+	if wasRunning {
+		s.reoptimize("departure")
+	}
+	s.tryAdmit()
+	return true
 }
 
 // push enqueues an event with the next insertion sequence number.
@@ -440,6 +610,7 @@ func (s *Service) failRunning(j *job, cause string) {
 		}
 		j.result.Error = j.result.Err.Error()
 		s.rep.FailedPermanently++
+		s.markTerminal(j)
 		s.tr.Complete(obs.LayerWorkload, "workload.failed-permanently", s.now, 0,
 			obs.A("tenant", j.result.Tenant), obs.A("retries", j.retries),
 			obs.A("cause", cause))
@@ -532,6 +703,7 @@ func (s *Service) applyDepart(ev event) bool {
 	j.result.Latency = s.now - j.result.Arrival
 	j.result.Config = j.res.String()
 	s.running--
+	s.markTerminal(j)
 	s.tr.Complete(obs.LayerWorkload, "tenant.run", j.result.Admitted, s.now-j.result.Admitted,
 		obs.A("tenant", j.result.Tenant), obs.A("program", j.result.Program),
 		obs.A("config", j.result.Config), obs.A("reopts", j.result.Reopts))
@@ -552,9 +724,13 @@ func (s *Service) applyRetry(ev event) (int, bool) {
 	return j.idx, true
 }
 
-// applyArrive moves a submitted job into the admission queue.
+// applyArrive moves a submitted job into the admission queue. A job
+// canceled before its arrival event fired stays terminal.
 func (s *Service) applyArrive(ev event) {
 	j := s.jobs[ev.job]
+	if j.state != jsPending {
+		return
+	}
 	j.state = jsQueued
 	s.queue = append(s.queue, ev.job)
 	s.tr.Metrics().Add("workload.arrivals", 1)
@@ -630,6 +806,7 @@ func (s *Service) shedJob(j *job) {
 	j.result.Err = fmt.Errorf("%w: %s arrived during an open breaker", ErrAdmissionShed, j.result.Tenant)
 	j.result.Error = j.result.Err.Error()
 	s.rep.Shed++
+	s.markTerminal(j)
 	s.tr.Complete(obs.LayerWorkload, "workload.shed", s.now, 0,
 		obs.A("tenant", j.result.Tenant))
 	s.tr.Metrics().Add("workload.shed", 1)
@@ -669,6 +846,7 @@ func (s *Service) tryAdmit() {
 			j.state = jsFailed
 			j.result.Err = err
 			j.result.Error = err.Error()
+			s.markTerminal(j)
 			s.tr.Complete(obs.LayerWorkload, "tenant.error", s.now, 0,
 				obs.A("tenant", j.result.Tenant), obs.A("err", err.Error()))
 			continue
@@ -715,6 +893,7 @@ func (s *Service) tryAdmit() {
 				j.state = jsFailed
 				j.result.Err = err
 				j.result.Error = err.Error()
+				s.markTerminal(j)
 				s.tr.Complete(obs.LayerWorkload, "tenant.error", s.now, 0,
 					obs.A("tenant", j.result.Tenant), obs.A("err", err.Error()))
 				continue
@@ -768,6 +947,7 @@ func (s *Service) tryAdmit() {
 			j.result.Err = sr.err
 			j.result.Error = sr.err.Error()
 			s.running--
+			s.markTerminal(j)
 			s.tr.Complete(obs.LayerWorkload, "tenant.error", s.now, 0,
 				obs.A("tenant", j.result.Tenant), obs.A("err", sr.err.Error()))
 			continue

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-kernels race-workload race-chaos race-server check bench verify-corpus cover
+.PHONY: build test vet race race-kernels race-workload race-chaos race-server race-opt check bench verify-corpus cover
 
 build:
 	$(GO) build ./...
@@ -45,7 +45,13 @@ race-server:
 	$(GO) test -race -count=2 ./internal/server
 	$(GO) test -race -run 'Daemon' ./cmd/elastic-serve
 
-check: vet race race-kernels race-workload race-chaos race-server
+# The admission hot path under the race detector, doubled: the sharded
+# plan cache's lock stripes, concurrent OptimizeMemo replays on a shared
+# memo, and the matrix scratch arena's pools.
+race-opt:
+	$(GO) test -race -count=2 ./internal/opt ./internal/matrix
+
+check: vet race race-kernels race-workload race-chaos race-server race-opt
 
 # Differential plan verification: the paper corpus plus a fixed-seed fuzz
 # stream, each program run under every resource configuration and against

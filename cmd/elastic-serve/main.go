@@ -49,6 +49,8 @@ func main() {
 
 		workers = flag.Int("workers", 1, "service computation fan-out; any value yields byte-identical reports")
 		cache   = flag.Int("cache", 0, "shared plan cache capacity (0 = default 64, negative disables)")
+		shards  = flag.Int("cache-shards", 0, "plan cache lock stripes (0 = default 16, 1 = single-lock)")
+		noMemo  = flag.Bool("no-reopt-memo", false, "disable the incremental re-costing memo (ablation; results are identical either way)")
 		points  = flag.Int("points", 7, "optimizer grid resolution per tenant")
 
 		nodes    = flag.Int("nodes", 2, "cluster worker nodes")
@@ -130,6 +132,8 @@ func main() {
 	o := workload.DefaultOptions()
 	o.Workers = *workers
 	o.CacheEntries = *cache
+	o.CacheShards = *shards
+	o.DisableReoptMemo = *noMemo
 	o.Points = *points
 	if *nodeFail != "" {
 		for _, part := range strings.Split(*nodeFail, ",") {

@@ -32,6 +32,8 @@ func (r *Runner) Experiments() []struct {
 		{"failures", r.FailureSweep},
 		{"workload", r.Workload},
 		{"chaos", r.Chaos},
+		{"admission", r.Admission},
+		{"kernels", r.Kernels},
 	}
 }
 

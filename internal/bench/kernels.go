@@ -1,0 +1,184 @@
+package bench
+
+// Matrix-kernel microbenchmark (experiment "kernels"): dense multiply and
+// TSMM throughput plus allocation behaviour across the CP degree of
+// parallelism and the scratch-buffer arena. The arena never changes
+// results (pooled buffers are zeroed on checkout and kernels write every
+// cell in the same order), so the interesting columns are GFLOP/s and
+// allocs/op — with pooling on, steady-state kernel invocations should
+// stop allocating. The row set is written to BENCH_kernels.json.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"elasticml/internal/matrix"
+)
+
+// KernelRow is one measured kernel configuration, as serialized into
+// BENCH_kernels.json.
+type KernelRow struct {
+	Kernel      string  `json:"kernel"`
+	N           int     `json:"n"`
+	Dop         int     `json:"dop"`
+	Arena       bool    `json:"arena"`
+	Iters       int     `json:"iters"`
+	GFLOPs      float64 `json:"gflops"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// kernelSummary is the machine-readable artifact: per-configuration rows
+// plus the headline ratios for the largest problem size at dop 1
+// (arena-off over arena-on; > 1 means the arena reduced allocation).
+type kernelSummary struct {
+	Rows               []KernelRow `json:"rows"`
+	MulAllocReduction  float64     `json:"mul_alloc_reduction"`
+	MulBytesReduction  float64     `json:"mul_bytes_reduction"`
+	TSMMAllocReduction float64     `json:"tsmm_alloc_reduction"`
+}
+
+// benchDense builds a deterministic dense matrix for the sweep.
+func benchDense(rows, cols int, seed int64) *matrix.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// measureKernel times iters invocations of op (which must return the
+// output matrix so the arena can recycle it) and reports GFLOP/s and
+// per-op allocation counts from the runtime's monotonic counters.
+func measureKernel(iters int, flopsPerOp float64, arena bool, op func() *matrix.Matrix) (gflops, allocsPerOp, bytesPerOp float64) {
+	// One untimed warm invocation primes the pools so the steady state is
+	// what gets measured.
+	if c := op(); arena {
+		matrix.Recycle(c)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		c := op()
+		if arena {
+			matrix.Recycle(c)
+		}
+	}
+	secs := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	gflops = flopsPerOp * float64(iters) / secs / 1e9
+	allocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(iters)
+	bytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(iters)
+	return gflops, allocsPerOp, bytesPerOp
+}
+
+// Kernels (experiment "kernels") sweeps the dense hot kernels and writes
+// BENCH_kernels.json next to the report.
+func (r *Runner) Kernels() error {
+	sizes := []int{256, 512}
+	iters := 40
+	if r.Quick {
+		sizes = []int{128}
+		iters = 20
+	}
+	dops := []int{1, 4}
+
+	prevDop := matrix.Parallelism()
+	defer func() {
+		matrix.SetParallelism(prevDop)
+		matrix.EnableArena(false)
+	}()
+
+	r.printf("Dense kernel sweep: %d iters/config (tiles %d cols x %d depth)\n",
+		iters, 512, 64)
+	r.printf("%8s %5s %4s %6s %9s %12s %12s\n",
+		"kernel", "n", "dop", "arena", "GFLOP/s", "allocs/op", "bytes/op")
+
+	var rows []KernelRow
+	run := func(kernel string, n, dop int, arena bool, flopsPerOp float64, op func() *matrix.Matrix) KernelRow {
+		matrix.SetParallelism(dop)
+		matrix.EnableArena(arena)
+		g, a, b := measureKernel(iters, flopsPerOp, arena, op)
+		row := KernelRow{Kernel: kernel, N: n, Dop: dop, Arena: arena,
+			Iters: iters, GFLOPs: g, AllocsPerOp: a, BytesPerOp: b}
+		rows = append(rows, row)
+		onoff := "off"
+		if arena {
+			onoff = "on"
+		}
+		r.printf("%8s %5d %4d %6s %9.2f %12.1f %12.0f\n", kernel, n, dop, onoff, g, a, b)
+		return row
+	}
+
+	type key struct {
+		kernel string
+		arena  bool
+	}
+	last := map[key]KernelRow{} // largest-n dop-1 row per (kernel, arena)
+	for _, n := range sizes {
+		a := benchDense(n, n, 1)
+		b := benchDense(n, n, 2)
+		x := benchDense(n, n/4, 3)
+		mulFlops := 2 * float64(n) * float64(n) * float64(n)
+		tsmmFlops := float64(n/4) * float64(n/4) * float64(n) // upper triangle x2 halves
+		for _, dop := range dops {
+			for _, arena := range []bool{false, true} {
+				row := run("mul", n, dop, arena, mulFlops, func() *matrix.Matrix { return matrix.Mul(a, b) })
+				if dop == 1 {
+					last[key{"mul", arena}] = row
+				}
+				row = run("tsmm", n, dop, arena, tsmmFlops, func() *matrix.Matrix { return matrix.TSMM(x) })
+				if dop == 1 {
+					last[key{"tsmm", arena}] = row
+				}
+			}
+		}
+	}
+	matrix.SetParallelism(prevDop)
+	matrix.EnableArena(false)
+
+	ratio := func(off, on float64) float64 {
+		if on <= 0 {
+			on = 0.01 // fully pooled: report against a nominal floor
+		}
+		return off / on
+	}
+	sum := kernelSummary{
+		Rows:               rows,
+		MulAllocReduction:  ratio(last[key{"mul", false}].AllocsPerOp, last[key{"mul", true}].AllocsPerOp),
+		MulBytesReduction:  ratio(last[key{"mul", false}].BytesPerOp, last[key{"mul", true}].BytesPerOp),
+		TSMMAllocReduction: ratio(last[key{"tsmm", false}].AllocsPerOp, last[key{"tsmm", true}].AllocsPerOp),
+	}
+	r.printf("arena reductions (dop 1, n=%d): mul %.1fx allocs / %.1fx bytes, tsmm %.1fx allocs\n\n",
+		sizes[len(sizes)-1], sum.MulAllocReduction, sum.MulBytesReduction, sum.TSMMAllocReduction)
+
+	path := filepath.Join(r.ArtifactDir, "BENCH_kernels.json")
+	if err := writeKernelsJSON(path, sum); err != nil {
+		return err
+	}
+	r.printf("wrote %s (%d rows)\n", path, len(rows))
+	return nil
+}
+
+// writeKernelsJSON serializes the sweep rows with stable formatting.
+func writeKernelsJSON(path string, sum kernelSummary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

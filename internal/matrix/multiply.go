@@ -8,6 +8,15 @@ import "fmt"
 const (
 	mulRowGrain = 8  // output rows per chunk for row-partitioned multiplies
 	dsRowGrain  = 32 // rows per chunk for mulDS (each chunk rescans b's nnz)
+
+	// Cache-blocking tiles for mulDD: the inner loops sweep a mulKTile x
+	// mulJTile panel of b (256 KB) so it stays L2-resident while being
+	// reused across a whole row chunk, instead of streaming all of b once
+	// per output row. Tile sizes depend only on constants, and per-cell
+	// accumulation order stays ascending-p, so tiling is byte-identical to
+	// the untiled ikj loop at any parallelism.
+	mulKTile = 64  // inner-dimension rows of b per tile
+	mulJTile = 512 // output columns per tile
 )
 
 // Mul computes the matrix product a %*% b. It dispatches on the operand
@@ -38,17 +47,33 @@ func mulDD(a, b *Matrix) *Matrix {
 	c := NewDense(a.rows, b.cols)
 	n, k, m := a.rows, a.cols, b.cols
 	parRange(n, mulRowGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c.dense[i*m : (i+1)*m]
-			ai := a.dense[i*k : (i+1)*k]
-			for p := 0; p < k; p++ {
-				av := ai[p]
-				if av == 0 {
-					continue
+		// Tiled ikj: for every output cell c[i][j] the contributions still
+		// arrive in ascending-p order (tiles are visited in order, p ascends
+		// within a tile, and exactly one j-tile contains j), so the result
+		// is bit-for-bit the untiled loop's.
+		for j0 := 0; j0 < m; j0 += mulJTile {
+			j1 := j0 + mulJTile
+			if j1 > m {
+				j1 = m
+			}
+			for p0 := 0; p0 < k; p0 += mulKTile {
+				p1 := p0 + mulKTile
+				if p1 > k {
+					p1 = k
 				}
-				bp := b.dense[p*m : (p+1)*m]
-				for j := 0; j < m; j++ {
-					ci[j] += av * bp[j]
+				for i := lo; i < hi; i++ {
+					ci := c.dense[i*m+j0 : i*m+j1]
+					ai := a.dense[i*k : (i+1)*k]
+					for p := p0; p < p1; p++ {
+						av := ai[p]
+						if av == 0 {
+							continue
+						}
+						bp := b.dense[p*m+j0 : p*m+j1]
+						for j, bv := range bp {
+							ci[j] += av * bv
+						}
+					}
 				}
 			}
 		}
@@ -102,7 +127,12 @@ func mulSS(a, b *Matrix) *Matrix {
 			})
 		}
 	})
-	return c.Compact()
+	out := c.Compact()
+	if out != c {
+		// Compact copied into a CSR; the dense accumulator is dead scratch.
+		putFloats(c.dense)
+	}
+	return out
 }
 
 // TSMM computes the transpose-self matrix multiply t(x) %*% x, a dedicated
@@ -171,7 +201,8 @@ func MulChainMVV(x, v, w *Matrix) *Matrix {
 	}
 	k := x.cols
 	out := NewDense(k, 1)
-	dots := make([]float64, x.rows)
+	dots := getFloats(x.rows) // scratch: never escapes, returned below
+	defer putFloats(dots)
 	if x.sp != nil {
 		parRange(x.rows, mulRowGrain, func(lo, hi int) {
 			for i := lo; i < hi; i++ {

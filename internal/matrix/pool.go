@@ -35,7 +35,7 @@ var (
 	poolMetrics atomic.Pointer[obs.Metrics]
 
 	statKernels atomic.Int64 // parallel kernel invocations
-	statChunks  atomic.Int64 // partition chunks dispatched
+	statChunks  atomic.Int64 // partition chunks executed to completion
 	statStolen  atomic.Int64 // chunks executed by pool workers (not the caller)
 )
 
@@ -125,7 +125,7 @@ func parRange(n, grain int, fn func(lo, hi int)) {
 	}
 	ensurePool()
 
-	var next, stolen atomic.Int64
+	var next, stolen, executed atomic.Int64
 	var panicMu sync.Mutex
 	var panicVal any
 	run := func(helper bool) {
@@ -150,6 +150,7 @@ func parRange(n, grain int, fn func(lo, hi int)) {
 				hi = n
 			}
 			fn(lo, hi)
+			executed.Add(1)
 			if helper {
 				stolen.Add(1)
 			}
@@ -174,12 +175,15 @@ func parRange(n, grain int, fn func(lo, hi int)) {
 	run(false)
 	wg.Wait()
 
+	// Count only chunks that ran to completion: a panic abandons the rest
+	// of the range, and reporting the planned chunk count would overstate
+	// the work actually performed.
 	statKernels.Add(1)
-	statChunks.Add(int64(chunks))
+	statChunks.Add(executed.Load())
 	statStolen.Add(stolen.Load())
 	if m := poolMetrics.Load(); m != nil {
 		m.Add("matrix.pool.kernels", 1)
-		m.Add("matrix.pool.chunks", int64(chunks))
+		m.Add("matrix.pool.chunks", executed.Load())
 		m.Add("matrix.pool.stolen", stolen.Load())
 	}
 	if panicVal != nil {

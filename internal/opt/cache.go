@@ -3,8 +3,11 @@ package opt
 import (
 	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"hash"
+	"math"
 	"sort"
 	"sync"
 
@@ -37,40 +40,177 @@ type InputMeta struct {
 	Format     string
 }
 
+// keyHasher bundles a reusable SHA-256 state with a staging buffer and the
+// sort scratch CacheKey needs. Admission derives a key per lookup, so the
+// hasher, buffer, and scratch slices are pooled; fields are staged into buf
+// and written to the hash in one batch instead of one Fprintf per field.
+type keyHasher struct {
+	h     hash.Hash
+	buf   []byte
+	sum   [sha256.Size]byte
+	names []string
+	metas []InputMeta
+}
+
+var keyHasherPool = sync.Pool{
+	New: func() interface{} {
+		return &keyHasher{h: sha256.New(), buf: make([]byte, 0, 1024)}
+	},
+}
+
+// The field encoders are collision-free by construction: every variable-
+// length payload is length-prefixed (uvarint), every field carries a
+// one-byte type tag, and numeric payloads are fixed-width or varint-coded.
+// No choice of adversarial bytes in one field can shift the boundary of
+// another, unlike the old newline/colon-delimited %v encoding.
+
+func (k *keyHasher) tag(t byte) { k.buf = append(k.buf, t) }
+
+func (k *keyHasher) str(s string) {
+	k.buf = binary.AppendUvarint(k.buf, uint64(len(s)))
+	k.buf = append(k.buf, s...)
+}
+
+func (k *keyHasher) i64(v int64) { k.buf = binary.AppendVarint(k.buf, v) }
+
+func (k *keyHasher) f64(v float64) {
+	k.buf = binary.BigEndian.AppendUint64(k.buf, math.Float64bits(v))
+}
+
+func (k *keyHasher) boolByte(v bool) {
+	if v {
+		k.buf = append(k.buf, 1)
+	} else {
+		k.buf = append(k.buf, 0)
+	}
+}
+
+// param encodes one parameter binding with a type tag, so a string "1"
+// and an int 1 hash differently.
+func (k *keyHasher) param(name string, v interface{}) {
+	k.tag('p')
+	k.str(name)
+	switch x := v.(type) {
+	case string:
+		k.tag('s')
+		k.str(x)
+	case int:
+		k.tag('i')
+		k.i64(int64(x))
+	case int64:
+		k.tag('i')
+		k.i64(x)
+	case float64:
+		k.tag('f')
+		k.f64(x)
+	case bool:
+		k.tag('b')
+		k.boolByte(x)
+	default:
+		// Fallback for exotic types: tag with the dynamic Go type name so
+		// different types with the same formatting cannot collide.
+		k.tag('v')
+		k.str(fmt.Sprintf("%T", v))
+		k.str(fmt.Sprintf("%v", v))
+	}
+}
+
+// options encodes the result-relevant optimizer options. Workers and
+// TimeBudget are deliberately excluded: the task-parallel optimizer returns
+// the same result as the sequential one, and the service never sets a time
+// budget (it would make outcomes wall-clock dependent).
+func (k *keyHasher) options(opts Options) {
+	k.tag('O')
+	k.i64(int64(opts.GridCP))
+	k.i64(int64(opts.GridMR))
+	k.i64(int64(opts.Points))
+	k.boolByte(opts.DisablePruning)
+	k.i64(int64(len(opts.CPCoreCandidates)))
+	for _, c := range opts.CPCoreCandidates {
+		k.i64(int64(c))
+	}
+	k.f64(opts.ClusterLoad)
+}
+
+// problem encodes the cluster-independent half of the key: source,
+// parameter bindings (sorted), and input metadata (sorted by path).
+func (k *keyHasher) problem(source string, params map[string]interface{}, inputs []InputMeta) {
+	k.tag('S')
+	k.str(source)
+
+	k.names = k.names[:0]
+	for name := range params {
+		k.names = append(k.names, name)
+	}
+	sort.Strings(k.names)
+	for _, name := range k.names {
+		k.param(name, params[name])
+	}
+
+	k.metas = append(k.metas[:0], inputs...)
+	sort.Slice(k.metas, func(i, j int) bool { return k.metas[i].Path < k.metas[j].Path })
+	for _, m := range k.metas {
+		k.tag('I')
+		k.str(m.Path)
+		k.i64(m.Rows)
+		k.i64(m.Cols)
+		k.i64(m.NNZ)
+		k.str(m.Format)
+	}
+}
+
+// cluster encodes every cluster dimension the grid search depends on.
+func (k *keyHasher) cluster(cc conf.Cluster) {
+	k.tag('C')
+	k.i64(int64(cc.Nodes))
+	k.i64(int64(cc.CoresPerNode))
+	k.i64(int64(cc.MemPerNode))
+	k.i64(int64(cc.MinAlloc))
+	k.i64(int64(cc.MaxAlloc))
+	k.i64(int64(cc.HDFSBlockSize))
+	k.i64(int64(cc.Reducers))
+	k.f64(cc.ContainerOverhead)
+	k.f64(cc.CPBudgetRatio)
+}
+
+// finish hashes the staged buffer in one write and returns the hex digest.
+func (k *keyHasher) finish() string {
+	k.h.Reset()
+	k.h.Write(k.buf)
+	k.h.Sum(k.sum[:0])
+	return hex.EncodeToString(k.sum[:])
+}
+
 // CacheKey derives the plan-cache key for one optimization problem: the
 // script source, its parameter bindings, the input matrix metadata, the
 // cluster configuration (a node failure or a free-slice clamp changes the
 // key, invalidating entries computed for the old cluster state), and the
-// optimizer options. Workers and TimeBudget are deliberately excluded:
-// the task-parallel optimizer returns the same result as the sequential
-// one, and the service never sets a time budget (it would make outcomes
-// wall-clock dependent).
+// result-relevant optimizer options. Every field is length-prefixed and
+// type-tagged (see keyHasher), so adversarial values — a string "1" vs an
+// int 1, delimiter bytes inside params or paths — cannot collide.
 func CacheKey(source string, params map[string]interface{}, inputs []InputMeta, cc conf.Cluster, opts Options) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "src:%d:%s\n", len(source), source)
+	k := keyHasherPool.Get().(*keyHasher)
+	k.buf = k.buf[:0]
+	k.problem(source, params, inputs)
+	k.cluster(cc)
+	k.options(opts)
+	key := k.finish()
+	keyHasherPool.Put(k)
+	return key
+}
 
-	names := make([]string, 0, len(params))
-	for k := range params {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	for _, k := range names {
-		fmt.Fprintf(h, "param:%s=%v\n", k, params[k])
-	}
-
-	metas := append([]InputMeta(nil), inputs...)
-	sort.Slice(metas, func(i, j int) bool { return metas[i].Path < metas[j].Path })
-	for _, m := range metas {
-		fmt.Fprintf(h, "in:%s:%dx%d:%d:%s\n", m.Path, m.Rows, m.Cols, m.NNZ, m.Format)
-	}
-
-	fmt.Fprintf(h, "cc:%d:%d:%d:%d:%d:%d:%d:%g:%g\n",
-		cc.Nodes, cc.CoresPerNode, cc.MemPerNode, cc.MinAlloc, cc.MaxAlloc,
-		cc.HDFSBlockSize, cc.Reducers, cc.ContainerOverhead, cc.CPBudgetRatio)
-	fmt.Fprintf(h, "opt:%d:%d:%d:%t:%v:%g\n",
-		opts.GridCP, opts.GridMR, opts.Points, opts.DisablePruning,
-		opts.CPCoreCandidates, opts.ClusterLoad)
-	return hex.EncodeToString(h.Sum(nil))
+// MemoKey derives the re-costing memo key for one optimization problem:
+// CacheKey minus the cluster dimensions. A program keeps one memo across
+// cluster states — that is the point: entries record which cluster they
+// were computed under and are revalidated per lookup (see Memo).
+func MemoKey(source string, params map[string]interface{}, inputs []InputMeta, opts Options) string {
+	k := keyHasherPool.Get().(*keyHasher)
+	k.buf = k.buf[:0]
+	k.problem(source, params, inputs)
+	k.options(opts)
+	key := k.finish()
+	keyHasherPool.Put(k)
+	return key
 }
 
 // CacheStats reports cache effectiveness.
@@ -88,6 +228,18 @@ func (s CacheStats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// PlanCache is the behavioral contract shared by the single-lock Cache and
+// the lock-striped ShardedCache: outcome-only LRU memoization of grid
+// searches with hit/miss accounting. A typed-nil *Cache satisfies it as a
+// no-op (all Cache methods are nil-receiver safe), which is how the
+// workload service represents "caching disabled".
+type PlanCache interface {
+	Lookup(key string) (conf.Resources, float64, bool)
+	Insert(key string, res conf.Resources, cost float64)
+	Len() int
+	Stats() CacheStats
 }
 
 // cacheItem is one LRU entry.
@@ -180,9 +332,11 @@ func (c *Cache) Len() int {
 // outcome. The caller is responsible for deriving the key with CacheKey
 // from the same program, cluster, and options it passes here. A nil cache
 // degenerates to Optimize.
-func (o *Optimizer) OptimizeCached(hp *hop.Program, c *Cache, key string) (*Result, bool) {
-	if res, cost, ok := c.Lookup(key); ok {
-		return &Result{Res: res, Cost: cost}, true
+func (o *Optimizer) OptimizeCached(hp *hop.Program, c PlanCache, key string) (*Result, bool) {
+	if c != nil {
+		if res, cost, ok := c.Lookup(key); ok {
+			return &Result{Res: res, Cost: cost}, true
+		}
 	}
 	r := o.Optimize(hp)
 	if r != nil && c != nil {

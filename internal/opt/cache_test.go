@@ -74,6 +74,74 @@ func TestCacheKeySensitivity(t *testing.T) {
 	}
 }
 
+// TestCacheKeyCollisions: adversarial params and paths that collided under
+// the old newline/colon-delimited %v encoding must produce distinct keys.
+// Every field is now length-prefixed and type-tagged, so no byte choice in
+// one field can shift another field's boundary.
+func TestCacheKeyCollisions(t *testing.T) {
+	src, _, inputs, cc, opts := testKeyInputs()
+	key := func(params map[string]interface{}, ins []InputMeta) string {
+		return CacheKey(src, params, ins, cc, opts)
+	}
+
+	cases := []struct {
+		name string
+		a, b string
+	}{
+		{
+			// Old scheme: both hashed "param:a=1\n".
+			"string 1 vs int 1",
+			key(map[string]interface{}{"a": "1"}, inputs),
+			key(map[string]interface{}{"a": 1}, inputs),
+		},
+		{
+			"int 1 vs float 1",
+			key(map[string]interface{}{"a": 1}, inputs),
+			key(map[string]interface{}{"a": 1.0}, inputs),
+		},
+		{
+			// Old scheme: both hashed "param:a=true\n".
+			"bool true vs string true",
+			key(map[string]interface{}{"a": true}, inputs),
+			key(map[string]interface{}{"a": "true"}, inputs),
+		},
+		{
+			// Old scheme: the embedded newline forged a second param line.
+			"newline injection in value",
+			key(map[string]interface{}{"a": "x\nparam:b=1"}, inputs),
+			key(map[string]interface{}{"a": "x", "b": 1}, inputs),
+		},
+		{
+			// Old scheme: "param:a=b=c\n" was ambiguous about the '=' split.
+			"delimiter in name vs value",
+			key(map[string]interface{}{"a=b": "c"}, inputs),
+			key(map[string]interface{}{"a": "b=c"}, inputs),
+		},
+		{
+			// Old scheme: a path containing "\nin:..." forged a second
+			// input-meta line.
+			"newline injection in path",
+			key(nil, []InputMeta{{Path: "/a\nin:/b:1x1:1:dense", Rows: 1, Cols: 1, NNZ: 1, Format: "dense"}}),
+			key(nil, []InputMeta{
+				{Path: "/a", Rows: 1, Cols: 1, NNZ: 1, Format: "dense"},
+				{Path: "/b", Rows: 1, Cols: 1, NNZ: 1, Format: "dense"},
+			}),
+		},
+		{
+			// Old scheme: "in:/x:1:2x3..." — a colon in the path shifted
+			// every later field.
+			"colon in path shifts dims",
+			key(nil, []InputMeta{{Path: "/x:1", Rows: 2, Cols: 3, NNZ: 1, Format: "dense"}}),
+			key(nil, []InputMeta{{Path: "/x", Rows: 1, Cols: 2, NNZ: 1, Format: "3:dense"}}),
+		},
+	}
+	for _, c := range cases {
+		if c.a == c.b {
+			t.Errorf("%s: keys collide", c.name)
+		}
+	}
+}
+
 // TestCacheLRU: capacity bounds entries, lookups refresh recency, and the
 // least recently used entry is the one evicted.
 func TestCacheLRU(t *testing.T) {

@@ -75,6 +75,12 @@ type Stats struct {
 	// proven MR-independent at a smaller CP size (monotonic dependency
 	// elimination across grid points).
 	MemoHits int
+	// ReuseHits counts cost evaluations answered by the re-costing memo
+	// (OptimizeMemo) instead of a fresh compile-and-cost.
+	ReuseHits int
+	// ReplayedPoints counts CP grid points fully replayed from the
+	// re-costing memo — no baseline compilation, no enumeration.
+	ReplayedPoints int
 }
 
 // Result is an optimization outcome.
@@ -109,7 +115,21 @@ func New(cc conf.Cluster) *Optimizer {
 
 // Optimize solves the resource allocation problem for the program.
 func (o *Optimizer) Optimize(hp *hop.Program) *Result {
-	global, _ := o.optimize(hp, 0)
+	global, _ := o.optimize(hp, 0, nil)
+	return global
+}
+
+// OptimizeMemo solves the resource allocation problem through a re-costing
+// memo: cost evaluations recorded by earlier searches over the same program
+// (possibly under different cluster states) are reused whenever the changed
+// cluster dimensions provably cannot have altered them, and fresh
+// evaluations are recorded for later searches. The result is identical to
+// Optimize by construction — the memo only replaces compile-and-cost calls
+// with their memoized values. A nil memo degenerates to Optimize. The memo
+// path always uses the sequential enumeration (which the task-parallel
+// optimizer matches result-for-result), so Workers is ignored here.
+func (o *Optimizer) OptimizeMemo(hp *hop.Program, m *Memo) *Result {
+	global, _ := o.optimize(hp, 0, newMemoView(m, o.CC))
 	return global
 }
 
@@ -117,7 +137,7 @@ func (o *Optimizer) Optimize(hp *hop.Program) *Result {
 // fixed current CP heap (R*_P | r_c), used by runtime re-optimization to
 // compare against migration (§4.2).
 func (o *Optimizer) OptimizeWithCurrent(hp *hop.Program, currentCP conf.Bytes) (global, local *Result) {
-	return o.optimize(hp, currentCP)
+	return o.optimize(hp, currentCP, nil)
 }
 
 // memoEntry is one row of the memoization structure: the best MR heap found
@@ -127,7 +147,7 @@ type memoEntry struct {
 	cost float64
 }
 
-func (o *Optimizer) optimize(hp *hop.Program, currentCP conf.Bytes) (*Result, *Result) {
+func (o *Optimizer) optimize(hp *hop.Program, currentCP conf.Bytes, mv *memoView) (*Result, *Result) {
 	start := time.Now()
 	src := EnumGridPoints(hp, o.CC, o.Opts.GridCP, o.Opts.Points)
 	srm := EnumGridPoints(hp, o.CC, o.Opts.GridMR, o.Opts.Points)
@@ -158,7 +178,7 @@ func (o *Optimizer) optimize(hp *hop.Program, currentCP conf.Bytes) (*Result, *R
 		// The property holds per core count (memory inflation shifts the
 		// thresholds).
 		prunedForever := make([]bool, hp.NumLeaf)
-		if o.Opts.Workers > 1 {
+		if o.Opts.Workers > 1 && mv == nil {
 			b, bl := o.optimizeParallel(hp, src, srm, currentCP, cores, &stats, prunedForever, deadline)
 			if b != nil {
 				best = better(best, b)
@@ -180,7 +200,7 @@ func (o *Optimizer) optimize(hp *hop.Program, currentCP conf.Bytes) (*Result, *R
 				psp = o.Trace.Begin(obs.LayerOptimize, "opt.cp-point",
 					obs.A("cp", rc.String()), obs.A("cores", cores))
 			}
-			res, cand := o.evalCP(hp, rc, cores, srm, est, &stats, prunedForever, nil)
+			res, cand := o.evalCP(hp, rc, cores, srm, est, &stats, prunedForever, nil, mv)
 			psp.End(obs.A("cost", round6(cand)))
 			best = better(best, &Result{Res: res, Cost: cand})
 			if currentCP > 0 && rc == currentCP && (bestLocal == nil || cand < bestLocal.Cost) {
@@ -217,13 +237,18 @@ func (o *Optimizer) optimize(hp *hop.Program, currentCP conf.Bytes) (*Result, *R
 // resources, pruning, per-block MR enumeration with memoization, and a
 // final whole-program costing under the memoized vector (Algorithm 1,
 // lines 5-17). blockHook, when non-nil, runs the per-block enumeration
-// through the parallel task queue.
+// through the parallel task queue. mv, when non-nil, first attempts a full
+// replay of the point from the re-costing memo and otherwise records every
+// fresh evaluation into it.
 func (o *Optimizer) evalCP(hp *hop.Program, rc conf.Bytes, cores int, srm []conf.Bytes,
 	est *cost.Estimator, stats *Stats, prunedForever []bool,
-	blockHook func(tasks []blockTask) []memoEntry) (conf.Resources, float64) {
+	blockHook func(tasks []blockTask) []memoEntry, mv *memoView) (conf.Resources, float64) {
 
 	n := hp.NumLeaf
 	minH := o.CC.MinHeap()
+	if res, c, ok := o.replayCP(hp, rc, cores, srm, minH, est, stats, prunedForever, mv); ok {
+		return res, c
+	}
 	baseline := lop.Select(hp, o.CC, withCores(conf.NewResources(rc, minH, n), cores))
 	stats.BlockCompilations += countBlocks(baseline)
 
@@ -232,19 +257,26 @@ func (o *Optimizer) evalCP(hp *hop.Program, rc conf.Bytes, cores int, srm []conf
 	var tasks []blockTask
 	remaining := 0
 	for i, lb := range leaves {
-		memo[i] = memoEntry{ri: minH, cost: est.BlockCost(lb, withCores(conf.NewResources(rc, minH, 1), cores))}
+		bc := est.BlockCost(lb, withCores(conf.NewResources(rc, minH, 1), cores))
+		memo[i] = memoEntry{ri: minH, cost: bc}
+		skip := false
 		if !o.Opts.DisablePruning {
 			if prunedForever[i] {
 				stats.MemoHits++
-				continue
-			}
-			if pruneBlock(lb) {
+				skip = true
+			} else if pruneBlock(lb) {
 				stats.PrunedBlocks++
 				if lop.NumMRJobs([]*lop.Block{lb}) == 0 {
 					prunedForever[i] = true
 				}
-				continue
+				skip = true
 			}
+		}
+		if mv != nil {
+			mv.recordBaseline(cores, rc, minH, i, bc, lop.NumMRJobs([]*lop.Block{lb}) > 0, skip)
+		}
+		if skip {
+			continue
 		}
 		remaining++
 		tasks = append(tasks, blockTask{idx: i, hb: lb.HopBlock, rc: rc, cores: cores})
@@ -267,7 +299,7 @@ func (o *Optimizer) evalCP(hp *hop.Program, rc conf.Bytes, cores int, srm []conf
 				bsp = o.Trace.Begin(obs.LayerOptimize, "opt.enum-block",
 					obs.A("block", t.idx), obs.A("cp", t.rc.String()), obs.A("mr_points", len(srm)))
 			}
-			entry := o.enumBlock(t, srm, est, stats)
+			entry := o.enumBlock(t, srm, est, stats, mv)
 			bsp.End(obs.A("best_mr", entry.ri.String()), obs.A("cost", round6(entry.cost)))
 			if entry.cost < memo[t.idx].cost {
 				memo[t.idx] = entry
@@ -283,17 +315,112 @@ func (o *Optimizer) evalCP(hp *hop.Program, rc conf.Bytes, cores int, srm []conf
 	}
 	full := lop.Select(hp, o.CC, resVec)
 	stats.BlockCompilations += countBlocks(full)
-	return resVec, est.ProgramCost(full)
+	pc := est.ProgramCost(full)
+	if mv != nil {
+		mv.recordProg(cores, rc, vecString(resVec.MR), pc, lop.NumMRJobs(full.Blocks) > 0)
+	}
+	return resVec, pc
+}
+
+// replayCP re-derives one CP grid point entirely from the re-costing memo:
+// every baseline cost, pruning verdict, and enumeration cost the fresh path
+// would compute must be present and valid under the current cluster, or the
+// replay is abandoned (the fresh path then fills the gaps). A successful
+// replay skips the baseline compilation and the whole per-block enumeration
+// and mirrors the fresh path's memo/pruning bookkeeping, so subsequent
+// points see the same prunedForever state either way.
+func (o *Optimizer) replayCP(hp *hop.Program, rc conf.Bytes, cores int, srm []conf.Bytes,
+	minH conf.Bytes, est *cost.Estimator, stats *Stats, prunedForever []bool,
+	mv *memoView) (conf.Resources, float64, bool) {
+
+	if mv == nil {
+		return conf.Resources{}, 0, false
+	}
+	n := hp.NumLeaf
+	memo := make([]memoEntry, n)
+	remaining := 0
+	// Stats mirrored only after the whole point proves replayable.
+	memoHits, prunedBlocks := 0, 0
+	var newlyForever []int
+	for i := 0; i < n; i++ {
+		bv, ok := mv.baseline(cores, rc, minH, i)
+		if !ok {
+			return conf.Resources{}, 0, false
+		}
+		memo[i] = memoEntry{ri: minH, cost: bv.cost}
+		if !o.Opts.DisablePruning {
+			if prunedForever[i] {
+				memoHits++
+				continue
+			}
+			if bv.pruned {
+				prunedBlocks++
+				if !bv.mr {
+					newlyForever = append(newlyForever, i)
+				}
+				continue
+			}
+		}
+		best := memoEntry{cost: -1}
+		for _, ri := range srm {
+			c, ok := mv.blockCost(cores, rc, ri, i)
+			if !ok {
+				return conf.Resources{}, 0, false
+			}
+			if best.cost < 0 || c < best.cost {
+				best = memoEntry{ri: ri, cost: c}
+			}
+		}
+		remaining++
+		if best.cost < memo[i].cost {
+			memo[i] = best
+		}
+	}
+
+	resVec := conf.Resources{CP: rc, MR: make([]conf.Bytes, n), CPCores: cores}
+	for i := range memo {
+		resVec.MR[i] = memo[i].ri
+	}
+	vec := vecString(resVec.MR)
+	pc, ok := mv.progCost(cores, rc, vec)
+	if !ok {
+		// The block table replayed but the final costing did not (an
+		// MR-bearing vector under a changed cluster): one compile + costing
+		// still beats re-enumerating the whole point.
+		full := lop.Select(hp, o.CC, resVec)
+		stats.BlockCompilations += countBlocks(full)
+		pc = est.ProgramCost(full)
+		mv.recordProg(cores, rc, vec, pc, lop.NumMRJobs(full.Blocks) > 0)
+	}
+
+	stats.MemoHits += memoHits
+	stats.PrunedBlocks += prunedBlocks
+	for _, i := range newlyForever {
+		prunedForever[i] = true
+	}
+	if remaining > stats.RemainingBlocks {
+		stats.RemainingBlocks = remaining
+	}
+	stats.ReplayedPoints++
+	return resVec, pc, true
 }
 
 // enumBlock evaluates the second dimension for one block under fixed rc.
-func (o *Optimizer) enumBlock(t blockTask, srm []conf.Bytes, est *cost.Estimator, stats *Stats) memoEntry {
+// Individual (rc, ri) evaluations answered by the re-costing memo skip the
+// per-point compile-and-cost; fresh evaluations are recorded.
+func (o *Optimizer) enumBlock(t blockTask, srm []conf.Bytes, est *cost.Estimator, stats *Stats, mv *memoView) memoEntry {
 	best := memoEntry{cost: -1}
 	for _, ri := range srm {
-		res := withCores(conf.NewResources(t.rc, ri, 1), t.cores)
-		lb := lop.SelectBlock(t.hb, o.CC, res)
-		stats.BlockCompilations++
-		c := est.BlockCost(lb, res)
+		c, ok := mv.blockCost(t.cores, t.rc, ri, t.idx)
+		if ok {
+			stats.ReuseHits++
+		} else {
+			res := withCores(conf.NewResources(t.rc, ri, 1), t.cores)
+			lb := lop.SelectBlock(t.hb, o.CC, res)
+			stats.BlockCompilations++
+			c = est.BlockCost(lb, res)
+			mv.recordBlock(t.cores, t.rc, ri, t.idx, c, lop.NumMRJobs([]*lop.Block{lb}) > 0)
+		}
 		if best.cost < 0 || c < best.cost {
 			best = memoEntry{ri: ri, cost: c}
 		}

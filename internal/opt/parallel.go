@@ -52,7 +52,7 @@ func (o *Optimizer) optimizeParallel(hp *hop.Program, src, srm []conf.Bytes, cur
 					tk.wg.Done()
 					continue
 				}
-				*tk.out = o.enumBlock(tk.bt, srm, est, &local)
+				*tk.out = o.enumBlock(tk.bt, srm, est, &local, nil)
 				tk.wg.Done()
 			}
 		}(w)

@@ -1,0 +1,157 @@
+package opt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"elasticml/internal/conf"
+)
+
+// hexKey returns a realistic cache key: lowercase hex of a SHA-256 digest,
+// exactly what CacheKey produces.
+func hexKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestShardedMatchesSingleLockStats: on any op sequence whose distinct-key
+// count fits a single shard's capacity, the sharded cache must produce
+// byte-identical stats to the single-lock cache (neither ever evicts).
+func TestShardedMatchesSingleLockStats(t *testing.T) {
+	const capacity, keys, ops = 64, 48, 4000
+	single := NewCache(capacity)
+	sharded := NewSharded(capacity, DefaultCacheShards)
+	r := conf.NewResources(conf.GB, 512*conf.MB, 2)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < ops; i++ {
+		k := hexKey(rng.Intn(keys))
+		if rng.Intn(3) == 0 {
+			single.Insert(k, r, float64(i))
+			sharded.Insert(k, r, float64(i))
+		} else {
+			_, c1, ok1 := single.Lookup(k)
+			_, c2, ok2 := sharded.Lookup(k)
+			if ok1 != ok2 || c1 != c2 {
+				t.Fatalf("op %d key %s: single (%v,%v) vs sharded (%v,%v)", i, k[:8], c1, ok1, c2, ok2)
+			}
+		}
+	}
+	if s1, s2 := single.Stats(), sharded.Stats(); s1 != s2 {
+		t.Errorf("stats diverged:\n single: %+v\nsharded: %+v", s1, s2)
+	}
+	if single.Len() != sharded.Len() {
+		t.Errorf("len diverged: %d vs %d", single.Len(), sharded.Len())
+	}
+}
+
+// TestShardedDistribution: sha256-hex keys must spread across stripes. The
+// first *decoded byte* selects the shard; a naive key[0] % N over hex
+// characters would leave shards 10-15 permanently empty.
+func TestShardedDistribution(t *testing.T) {
+	c := NewSharded(8, 16)
+	r := conf.NewResources(conf.GB, 512*conf.MB, 1)
+	for i := 0; i < 512; i++ {
+		c.Insert(hexKey(i), r, 1)
+	}
+	empty := 0
+	for i, s := range c.shards {
+		if s.Len() == 0 {
+			empty++
+			t.Logf("shard %d empty", i)
+		}
+	}
+	// 512 uniform keys over 16 shards: an empty shard has probability
+	// (15/16)^512 ~ 4e-15 per shard. Any empty shard means broken hashing.
+	if empty > 0 {
+		t.Errorf("%d of %d shards empty under uniform sha256 keys", empty, c.Shards())
+	}
+}
+
+// TestShardedConcurrency: parallel lookups, inserts, and evictions must be
+// race-free (run under -race) and keep the aggregate counters consistent.
+func TestShardedConcurrency(t *testing.T) {
+	const workers, opsPer, keys = 8, 500, 300
+	c := NewSharded(4, 16) // tiny shards force concurrent eviction
+	r := conf.NewResources(conf.GB, 512*conf.MB, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < opsPer; i++ {
+				k := hexKey(rng.Intn(keys))
+				if rng.Intn(2) == 0 {
+					c.Insert(k, r, float64(i))
+				} else {
+					c.Lookup(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses+st.Insertions != workers*opsPer {
+		t.Errorf("ops unaccounted: hits %d + misses %d + inserts %d != %d",
+			st.Hits, st.Misses, st.Insertions, workers*opsPer)
+	}
+	if st.Entries != c.Len() {
+		t.Errorf("stats entries %d != Len %d", st.Entries, c.Len())
+	}
+	if max := 4 * c.Shards(); st.Entries > max {
+		t.Errorf("entries %d exceed global bound %d", st.Entries, max)
+	}
+	if st.Insertions != st.Evictions+int64(st.Entries) {
+		// Re-inserting a live key refreshes in place, so insertions can
+		// exceed evictions+entries — but never the other way around.
+		if st.Insertions < st.Evictions+int64(st.Entries) {
+			t.Errorf("insertions %d < evictions %d + entries %d", st.Insertions, st.Evictions, st.Entries)
+		}
+	}
+}
+
+// TestShardedNilAndDefaults: a nil sharded cache is a valid no-op sink, and
+// non-positive parameters select the defaults.
+func TestShardedNilAndDefaults(t *testing.T) {
+	var c *ShardedCache
+	if _, _, ok := c.Lookup("x"); ok {
+		t.Error("nil sharded cache hit")
+	}
+	c.Insert("x", conf.Resources{}, 1) // must not panic
+	if c.Len() != 0 || c.Stats() != (CacheStats{}) || c.Shards() != 0 {
+		t.Error("nil sharded cache not empty")
+	}
+	d := NewSharded(0, 0)
+	if d.Shards() != DefaultCacheShards {
+		t.Errorf("default shards %d, want %d", d.Shards(), DefaultCacheShards)
+	}
+	if got := d.shards[0].capacity; got != DefaultCacheEntries {
+		t.Errorf("default per-shard capacity %d, want %d", got, DefaultCacheEntries)
+	}
+	// Short and non-hex keys must still route somewhere.
+	d.Insert("", conf.Resources{}, 1)
+	d.Insert("z", conf.Resources{}, 1)
+	d.Insert("ZZ-not-hex", conf.Resources{}, 1)
+	if d.Len() != 3 {
+		t.Errorf("odd keys not stored: len %d", d.Len())
+	}
+}
+
+// TestShardedImplementsPlanCache pins the interface contract used by the
+// workload service, including the typed-nil single-lock no-op.
+func TestShardedImplementsPlanCache(t *testing.T) {
+	var pc PlanCache = NewSharded(4, 4)
+	pc.Insert("aa", conf.NewResources(conf.GB, 512*conf.MB, 1), 2)
+	if _, cost, ok := pc.Lookup("aa"); !ok || cost != 2 {
+		t.Errorf("lookup through interface: ok=%v cost=%v", ok, cost)
+	}
+	pc = (*Cache)(nil) // disabled caching: typed nil must be inert
+	pc.Insert("aa", conf.Resources{}, 1)
+	if _, _, ok := pc.Lookup("aa"); ok || pc.Len() != 0 {
+		t.Error("typed-nil *Cache through interface not inert")
+	}
+}

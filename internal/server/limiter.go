@@ -22,9 +22,14 @@ type LimiterPolicy struct {
 	// sustained rate is shed. 0 disables byte-rate limiting.
 	BytesPerSec float64 `json:"bytes_per_sec,omitempty"`
 	// Burst is the bucket capacity in bytes. Defaults to one second's
-	// refill (or DefaultMaxFrame if larger) so a single max-size frame
-	// always fits.
+	// refill, and is always raised to at least MaxFrame so a single
+	// max-size frame fits: a smaller bucket would shed such a frame
+	// forever, since no amount of idle refill can exceed the capacity.
 	Burst float64 `json:"burst,omitempty"`
+	// MaxFrame is the largest frame the bucket must be able to admit (the
+	// wire frame bound of the server the limiter fronts). Defaults to
+	// DefaultMaxFrame.
+	MaxFrame float64 `json:"max_frame,omitempty"`
 	// MaxInflight bounds concurrently live (submitted, not yet terminal)
 	// jobs across all sessions. 0 disables the cap.
 	MaxInflight int `json:"max_inflight,omitempty"`
@@ -48,10 +53,19 @@ func NewLimiter(p LimiterPolicy, now func() time.Time) *Limiter {
 	if now == nil {
 		now = time.Now
 	}
-	if p.BytesPerSec > 0 && p.Burst <= 0 {
-		p.Burst = p.BytesPerSec
-		if p.Burst < DefaultMaxFrame {
-			p.Burst = DefaultMaxFrame
+	if p.MaxFrame <= 0 {
+		p.MaxFrame = DefaultMaxFrame
+	}
+	if p.BytesPerSec > 0 {
+		if p.Burst <= 0 {
+			p.Burst = p.BytesPerSec
+		}
+		// Clamp explicit bursts too: a bucket smaller than the largest legal
+		// frame would make that frame permanently inadmissible — AllowBytes
+		// could never accumulate enough tokens no matter how long the
+		// session idles.
+		if p.Burst < p.MaxFrame {
+			p.Burst = p.MaxFrame
 		}
 	}
 	return &Limiter{policy: p, tokens: p.Burst, last: now(), now: now}

@@ -6,30 +6,57 @@ import (
 )
 
 // TestLimiterTokenBucket: deterministic refill behavior under a fake clock.
+// Rates sit above DefaultMaxFrame so the max-frame admissibility clamp does
+// not alter the configured burst.
 func TestLimiterTokenBucket(t *testing.T) {
+	const rate, burst = 1 << 20, 2 << 20
 	now := time.Unix(0, 0)
 	clock := func() time.Time { return now }
-	l := NewLimiter(LimiterPolicy{BytesPerSec: 100, Burst: 200}, clock)
+	l := NewLimiter(LimiterPolicy{BytesPerSec: rate, Burst: burst}, clock)
 
-	if !l.AllowBytes(200) {
+	if !l.AllowBytes(burst) {
 		t.Fatal("full bucket refused its burst")
 	}
 	if l.AllowBytes(1) {
 		t.Fatal("empty bucket admitted a byte")
 	}
-	now = now.Add(500 * time.Millisecond) // +50 tokens
-	if !l.AllowBytes(50) {
-		t.Fatal("refilled bucket refused 50 bytes")
+	now = now.Add(500 * time.Millisecond) // +rate/2 tokens
+	if !l.AllowBytes(rate / 2) {
+		t.Fatal("refilled bucket refused a half-second of tokens")
 	}
 	if l.AllowBytes(1) {
 		t.Fatal("drained bucket admitted a byte")
 	}
 	now = now.Add(time.Hour) // refill clamps at burst
-	if l.AllowBytes(201) {
+	if l.AllowBytes(burst + 1) {
 		t.Fatal("bucket exceeded its burst capacity")
 	}
-	if !l.AllowBytes(200) {
+	if !l.AllowBytes(burst) {
 		t.Fatal("clamped bucket refused its burst")
+	}
+}
+
+// TestLimiterMaxFrameAlwaysAdmissible pins the burst-clamp fix: an explicit
+// Burst below DefaultMaxFrame used to be taken literally, so a max-size
+// frame could never be admitted — the bucket capacity itself was smaller
+// than the charge, no matter how long the session idled. The clamp must
+// apply to explicit bursts exactly as it does to defaulted ones.
+func TestLimiterMaxFrameAlwaysAdmissible(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	l := NewLimiter(LimiterPolicy{BytesPerSec: 10, Burst: 1}, clock)
+
+	if !l.AllowBytes(DefaultMaxFrame) {
+		t.Fatal("a max-size frame must be admissible at minimal explicit burst")
+	}
+	// The bucket is now empty; a long idle must refill back to a full
+	// max-frame allowance (capacity clamped up, not just the initial fill).
+	if l.AllowBytes(DefaultMaxFrame) {
+		t.Fatal("empty bucket admitted a second max frame immediately")
+	}
+	now = now.Add(time.Duration(DefaultMaxFrame/10+1) * time.Second)
+	if !l.AllowBytes(DefaultMaxFrame) {
+		t.Fatal("refilled bucket refused a max frame")
 	}
 }
 

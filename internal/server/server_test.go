@@ -81,8 +81,20 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 }
 
+// slowJobSource is a self-contained value-mode program whose dense
+// multiply chain costs real wall time on the sequencer goroutine — it
+// pins an inflight slot for the duration of the burst below. (Simulated
+// scenario jobs no longer work for that: the memoized admission path
+// processes them faster than clients can pile up submits.)
+const slowJobSource = `
+X = matrix(1.5, rows=400, cols=400)
+Y = X %*% X %*% X %*% X %*% X %*% X %*% X %*% X
+print(sum(Y))
+`
+
 // TestServerInflightShed: with a tiny inflight cap a submit burst sheds
-// with typed ErrOverloaded frames while every connection stays usable.
+// with typed ErrOverloaded frames while every connection stays usable,
+// and slots freed by completed jobs become admissible again.
 func TestServerInflightShed(t *testing.T) {
 	srv, addr := startServer(t, ServerConfig{
 		MaxSessions: 8,
@@ -90,9 +102,6 @@ func TestServerInflightShed(t *testing.T) {
 	})
 	defer srv.Shutdown(5 * time.Second)
 
-	var mu sync.Mutex
-	var accepted, shed int
-	var wg sync.WaitGroup
 	clients := make([]*Client, 4)
 	for i := range clients {
 		cl, err := Dial(addr)
@@ -102,6 +111,19 @@ func TestServerInflightShed(t *testing.T) {
 		defer cl.Close()
 		clients[i] = cl
 	}
+
+	// Occupy one of the two slots with a wall-slow job. Any burst submit
+	// that lands before it completes finds at most one free slot, and the
+	// one job that claims it queues behind the slow job's execution — so
+	// both slots stay held for the slow job's full runtime.
+	_, _, slowDone, err := clients[0].Submit(JobSpecWire{Tenant: "slow", Source: slowJobSource})
+	if err != nil {
+		t.Fatalf("slow submit: %v", err)
+	}
+
+	var mu sync.Mutex
+	var accepted, shed int
+	var wg sync.WaitGroup
 	for i, cl := range clients {
 		wg.Add(1)
 		go func(i int, cl *Client) {
@@ -126,8 +148,8 @@ func TestServerInflightShed(t *testing.T) {
 		}(i, cl)
 	}
 	wg.Wait()
-	if accepted < 2 {
-		t.Fatalf("accepted %d, want >= 2", accepted)
+	if accepted == 0 {
+		t.Fatalf("no burst submit was accepted (shed %d)", shed)
 	}
 	if shed == 0 {
 		t.Fatalf("no sheds despite cap 2 and 32 rapid submits (accepted %d)", accepted)
@@ -138,13 +160,42 @@ func TestServerInflightShed(t *testing.T) {
 			t.Fatalf("post-shed ping: %v", err)
 		}
 	}
+
+	// Once the slow job finishes its slot frees up and submits are
+	// admitted again (the queued burst job drains with it).
+	select {
+	case res := <-slowDone:
+		if res == nil {
+			t.Fatal("slow job result channel closed without a result")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("slow job never completed")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, _, _, err := clients[1].Submit(JobSpecWire{
+			Tenant: "after", Script: "L2SVM", Size: "XS", Cols: 100,
+		})
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("post-drain submit: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("inflight slots never freed after the slow job completed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // TestServerByteRateShed: draining the token bucket sheds frames with
 // typed errors and keeps the session open.
 func TestServerByteRateShed(t *testing.T) {
 	srv, addr := startServer(t, ServerConfig{
-		Limiter: LimiterPolicy{BytesPerSec: 1, Burst: 15},
+		// MaxFrame keeps the admissibility clamp at the test's tiny scale:
+		// the bucket only has to fit a ping, not a full default frame.
+		Limiter: LimiterPolicy{BytesPerSec: 1, Burst: 15, MaxFrame: 15},
 	})
 	defer srv.Shutdown(5 * time.Second)
 	cl, err := Dial(addr)

@@ -12,11 +12,16 @@ import (
 // the given service worker count and returns the marshalled report plus
 // the Chrome trace bytes — the two artifacts the determinism gate pins.
 func runDemo(t *testing.T, workers int) (reportJSON, trace []byte) {
+	return runDemoWith(t, func(o *Options) { o.Workers = workers })
+}
+
+// runDemoWith runs the demo workload under mutated options.
+func runDemoWith(t *testing.T, mutate func(*Options)) (reportJSON, trace []byte) {
 	t.Helper()
 	tr := obs.New(true)
 	o := demoOptions()
-	o.Workers = workers
 	o.Trace = tr
+	mutate(&o)
 	rep, err := Run(demoCluster(), demoJobs(), o)
 	if err != nil {
 		t.Fatal(err)
@@ -74,5 +79,45 @@ func TestWorkerCountInvariance(t *testing.T) {
 	}
 	if !bytes.Equal(t1, t4) {
 		t.Errorf("trace differs between Workers=1 and Workers=4:\n%s", diffLine(t1, t4))
+	}
+}
+
+// TestCacheShardingInvariance: the lock-striped plan cache is a concurrency
+// optimization, not a semantic change — with a working set that fits one
+// shard's capacity the sharded and single-lock caches must produce
+// byte-identical reports (including aggregated cache stats) and traces.
+func TestCacheShardingInvariance(t *testing.T) {
+	rs, ts := runDemoWith(t, func(o *Options) { o.CacheShards = 0 }) // default: sharded
+	r1, t1 := runDemoWith(t, func(o *Options) { o.CacheShards = 1 }) // single-lock
+	if !bytes.Equal(rs, r1) {
+		t.Errorf("report JSON differs between sharded and single-lock cache:\n%s", diffLine(rs, r1))
+	}
+	if !bytes.Equal(ts, t1) {
+		t.Errorf("trace differs between sharded and single-lock cache:\n%s", diffLine(ts, t1))
+	}
+}
+
+// TestReoptMemoInvariance: the re-costing memo only replaces cost
+// evaluations with their recorded values, so enabling it must not move a
+// single byte of the report or trace relative to fresh searches.
+func TestReoptMemoInvariance(t *testing.T) {
+	rm, tm := runDemoWith(t, func(o *Options) { o.DisableReoptMemo = false })
+	rf, tf := runDemoWith(t, func(o *Options) { o.DisableReoptMemo = true })
+	if !bytes.Equal(rm, rf) {
+		t.Errorf("report JSON differs with the re-costing memo enabled:\n%s", diffLine(rm, rf))
+	}
+	if !bytes.Equal(tm, tf) {
+		t.Errorf("trace differs with the re-costing memo enabled:\n%s", diffLine(tm, tf))
+	}
+}
+
+// TestReoptMemoInvarianceUnderChaos: the memo's cross-cluster validity
+// rules get their hardest workout when node failures and restores keep
+// changing the cluster mid-run; results must still match fresh searches.
+func TestReoptMemoInvarianceUnderChaos(t *testing.T) {
+	r1, _ := runDemoWith(t, func(o *Options) { o.Workers = 4 })
+	r2, _ := runDemoWith(t, func(o *Options) { o.Workers = 4; o.DisableReoptMemo = true })
+	if !bytes.Equal(r1, r2) {
+		t.Errorf("memo changed a parallel chaos run:\n%s", diffLine(r1, r2))
 	}
 }

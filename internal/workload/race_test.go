@@ -18,6 +18,7 @@ func TestStressOverlapChurn(t *testing.T) {
 	o := DefaultOptions()
 	o.Workers = 4
 	o.CacheEntries = 3 // far below the distinct-key count: heavy eviction
+	o.CacheShards = 1  // single-lock cache: sharding would loosen the global bound
 	o.NodeFailures = []fault.NodeFailure{{Node: 3, At: 10}, {Node: 0, At: 40}}
 	rep, err := Run(cc, jobs, o)
 	if err != nil {

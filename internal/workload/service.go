@@ -178,7 +178,8 @@ type Service struct {
 	opts  Options
 	rm    *yarn.ResourceManager
 	live  conf.Cluster // cc with Nodes shrunk to the live node count
-	cache *opt.Cache
+	cache opt.PlanCache
+	memos *opt.MemoStore
 	tr    *obs.Tracer
 	brk   *breaker
 
@@ -219,8 +220,16 @@ func New(cc conf.Cluster, o Options) (*Service, error) {
 		tr:   o.Trace,
 		brk:  newBreaker(o.Breaker),
 	}
-	if o.CacheEntries >= 0 {
+	switch {
+	case o.CacheEntries < 0:
+		s.cache = (*opt.Cache)(nil) // caching disabled: typed-nil no-op sink
+	case o.CacheShards == 1:
 		s.cache = opt.NewCache(o.CacheEntries)
+	default:
+		s.cache = opt.NewSharded(o.CacheEntries, o.CacheShards)
+	}
+	if !o.DisableReoptMemo {
+		s.memos = opt.NewMemoStore(0)
 	}
 	return s, nil
 }
@@ -790,13 +799,28 @@ func (s *Service) compileJob(j *job) (c *compiled, err error) {
 	return c, nil
 }
 
+// memoFor returns the re-costing memo for a compiled job's optimization
+// problem (nil when memoization is disabled). The memo key excludes the
+// cluster, so successive searches for the same program under shifting
+// cluster states — degraded-admission clamps, departures, failures —
+// share one cost table.
+func (s *Service) memoFor(c *compiled, opts opt.Options) *opt.Memo {
+	return s.memos.Get(opt.MemoKey(c.source, c.params, c.inputs, opts))
+}
+
 // optimizeUnder runs the cache-aware resource optimization of one compiled
-// job under the given cluster view.
+// job under the given cluster view. Cache misses run through the job's
+// re-costing memo, so a clamped re-optimization right after the unclamped
+// one replays most of its evaluations instead of re-enumerating the grid.
 func (s *Service) optimizeUnder(c *compiled, cc conf.Cluster, opts opt.Options) (conf.Resources, float64, bool) {
 	key := opt.CacheKey(c.source, c.params, c.inputs, cc, opts)
+	if res, cost, ok := s.cache.Lookup(key); ok {
+		return res, cost, true
+	}
 	o := &opt.Optimizer{CC: cc, Opts: opts}
-	r, hit := o.OptimizeCached(c.hp, s.cache, key)
-	return r.Res, r.Cost, hit
+	r := o.OptimizeMemo(c.hp, s.memoFor(c, opts))
+	s.cache.Insert(key, r.Res, r.Cost)
+	return r.Res, r.Cost, false
 }
 
 // shedJob rejects the queue head on behalf of the open circuit breaker.
@@ -1063,6 +1087,7 @@ func (s *Service) reoptimize(trigger string) {
 		j    *job
 		comp *compiled
 		key  string
+		memo *opt.Memo
 		res  conf.Resources
 		cost float64
 		hit  bool
@@ -1076,6 +1101,10 @@ func (s *Service) reoptimize(trigger string) {
 			c.key = opt.CacheKey(c.comp.source, c.comp.params, c.comp.inputs, s.live, opts)
 			if res, cost, ok := s.cache.Lookup(c.key); ok {
 				c.res, c.cost, c.hit = res, cost, true
+			} else {
+				// Memos are fetched here, in job order, so the memo store's
+				// LRU sequence is independent of the fan-out interleaving.
+				c.memo = s.memoFor(c.comp, opts)
 			}
 		}
 		s.rep.ReoptChecks++
@@ -1087,7 +1116,7 @@ func (s *Service) reoptimize(trigger string) {
 			return
 		}
 		o := &opt.Optimizer{CC: s.live, Opts: opts}
-		r := o.Optimize(c.comp.hp)
+		r := o.OptimizeMemo(c.comp.hp, c.memo)
 		c.res, c.cost = r.Res, r.Cost
 	})
 	for _, c := range cands {

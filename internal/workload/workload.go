@@ -82,6 +82,20 @@ type Options struct {
 	// CacheEntries is the shared plan cache capacity (0 = default 64,
 	// negative disables caching).
 	CacheEntries int
+	// CacheShards selects the plan cache's lock striping: 0 uses the
+	// default sharded cache (16 stripes keyed by the digest's first byte),
+	// 1 the legacy single-lock cache, and any other positive value that
+	// many stripes. Reports are byte-identical across values whenever the
+	// live working set fits one shard's capacity (each shard holds up to
+	// CacheEntries entries).
+	CacheShards int
+	// DisableReoptMemo turns off the per-program re-costing memo that makes
+	// repeated grid searches incremental: admission retries and §5
+	// re-optimization after departures, failures, and restores normally
+	// replay still-valid cost evaluations from earlier searches instead of
+	// re-enumerating every grid point. The memo never changes results —
+	// disabling it only costs time (ablation and benchmarking knob).
+	DisableReoptMemo bool
 	// Points is the optimizer's base grid resolution (0 = 7; the service
 	// favours responsiveness over exhaustive grids).
 	Points int

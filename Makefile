@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-kernels race-workload race-chaos race-server race-opt check bench verify-corpus cover
+.PHONY: build test vet race race-kernels race-workload race-chaos race-server race-opt race-elastic check bench verify-corpus cover
 
 build:
 	$(GO) build ./...
@@ -45,13 +45,20 @@ race-server:
 	$(GO) test -race -count=2 ./internal/server
 	$(GO) test -race -run 'Daemon' ./cmd/elastic-serve
 
+# The malleability machinery under the race detector, doubled: grow/shrink
+# equivalence across the verify configs, the policy engine's determinism and
+# golden reports, elasticity interleaved with chaos storms and breaker
+# sheds, group allocation atomicity, and the policy sweep's dominance check.
+race-elastic:
+	$(GO) test -race -count=2 -run 'Elastic|Policy|GrowShrink|Resize|AllocateGroup|FreeChunks|WidthClamped|RequeueClamps' ./internal/workload ./internal/yarn ./internal/opt ./internal/bench
+
 # The admission hot path under the race detector, doubled: the sharded
 # plan cache's lock stripes, concurrent OptimizeMemo replays on a shared
 # memo, and the matrix scratch arena's pools.
 race-opt:
 	$(GO) test -race -count=2 ./internal/opt ./internal/matrix
 
-check: vet race race-kernels race-workload race-chaos race-server race-opt
+check: vet race race-kernels race-workload race-chaos race-server race-opt race-elastic
 
 # Differential plan verification: the paper corpus plus a fixed-seed fuzz
 # stream, each program run under every resource configuration and against

@@ -17,6 +17,7 @@
 //	elastic-serve -scenario workload.json -nodes 4 -node-mem 8GB
 //	elastic-serve -nodes 4 -chaos-group 2+3@30:40 -chaos-storm 55:5:30:6 \
 //	    -recovery checkpoint -max-retries 5 -breaker shed
+//	elastic-serve -burst -tenants 12 -policy fair -elastic-tick 5
 //
 // With -listen it instead runs as a long-lived network daemon speaking the
 // binary wire protocol (see internal/server); SIGTERM drains gracefully
@@ -52,6 +53,10 @@ func main() {
 		shards  = flag.Int("cache-shards", 0, "plan cache lock stripes (0 = default 16, 1 = single-lock)")
 		noMemo  = flag.Bool("no-reopt-memo", false, "disable the incremental re-costing memo (ablation; results are identical either way)")
 		points  = flag.Int("points", 7, "optimizer grid resolution per tenant")
+
+		policy  = flag.String("policy", "fifo", "scheduling policy: fifo, fair, or regret")
+		tick    = flag.Float64("elastic-tick", 0, "periodic grow/shrink evaluation interval in simulated seconds (0 = event-driven only)")
+		burst   = flag.Bool("burst", false, "use the skewed-burst malleable workload generator instead of the uniform one")
 
 		nodes    = flag.Int("nodes", 2, "cluster worker nodes")
 		nodeMem  = flag.String("node-mem", "2GB", "memory per node (e.g. 8GB)")
@@ -126,10 +131,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "elastic-serve: -tenants must be positive")
 			os.Exit(2)
 		}
-		jobs = workload.Generate(*seed, *tenants, *meanGap)
+		if *burst {
+			jobs = workload.GenerateSkewedBurst(*seed, *tenants)
+		} else {
+			jobs = workload.Generate(*seed, *tenants, *meanGap)
+		}
 	}
 
 	o := workload.DefaultOptions()
+	pol, err := workload.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elastic-serve:", err)
+		os.Exit(2)
+	}
+	o.Policy = pol
+	o.Elastic.Tick = *tick
 	o.Workers = *workers
 	o.CacheEntries = *cache
 	o.CacheShards = *shards

@@ -34,6 +34,7 @@ func (r *Runner) Experiments() []struct {
 		{"chaos", r.Chaos},
 		{"admission", r.Admission},
 		{"kernels", r.Kernels},
+		{"elastic", r.Elastic},
 	}
 }
 

@@ -1,0 +1,188 @@
+package bench
+
+// Elastic policy sweep (experiment "elastic"): the malleable workload
+// service under the three scheduling policies — FIFO (rigid desired-width
+// admission, head-of-queue blocking), fair-share (width proportional to
+// active tenants), and regret-minimizing (narrow admission, bypass, grow
+// by marginal speedup) — on identical tenant traces. The headline trace is
+// the skewed-burst workload: tight arrival bursts on a tiny cluster, where
+// rigid FIFO head-blocks each burst at full desired width while the
+// width-flexible policies admit narrow and grow in the gaps. The row set
+// is written to BENCH_elastic.json.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/workload"
+)
+
+// ElasticRow is one policy/trace combination's summary, as serialized into
+// BENCH_elastic.json.
+type ElasticRow struct {
+	Policy        string  `json:"policy"`
+	Trace         string  `json:"trace"`
+	Tenants       int     `json:"tenants"`
+	Served        int     `json:"served"`
+	P50Queue      float64 `json:"p50_queue_delay"`
+	P95Queue      float64 `json:"p95_queue_delay"`
+	P95Latency    float64 `json:"p95_latency"`
+	Makespan      float64 `json:"makespan"`
+	Utilization   float64 `json:"utilization"`
+	WastedWork    float64 `json:"wasted_work"`
+	Grows         int     `json:"grows"`
+	Shrinks       int     `json:"shrinks"`
+	VolShrinks    int     `json:"voluntary_shrinks"`
+	MaxConcurrent int     `json:"max_concurrent"`
+}
+
+// elasticCluster is deliberately tiny — two nodes, two containers each —
+// so admission width is the contended resource.
+func elasticCluster() conf.Cluster {
+	cc := conf.DefaultCluster()
+	cc.Nodes = 2
+	cc.MemPerNode = 1 * conf.GB
+	cc.MaxAlloc = 1 * conf.GB
+	return cc
+}
+
+// elasticPolicies are the compared schedulers, in report order.
+func elasticPolicies() []workload.Policy {
+	return []workload.Policy{workload.PolicyFIFO, workload.PolicyFair, workload.PolicyRegret}
+}
+
+// elasticTraces returns the named tenant traces of the sweep.
+func elasticTraces(quick bool) []struct {
+	Name string
+	Jobs []workload.JobSpec
+} {
+	counts := []int{12, 24}
+	if quick {
+		counts = []int{12}
+	}
+	var out []struct {
+		Name string
+		Jobs []workload.JobSpec
+	}
+	for _, n := range counts {
+		out = append(out, struct {
+			Name string
+			Jobs []workload.JobSpec
+		}{"skewed-burst", workload.GenerateSkewedBurst(workloadSeed, n)})
+	}
+	return out
+}
+
+// elasticRows runs the sweep; shared by the experiment and its tests.
+func elasticRows(quick bool) ([]ElasticRow, error) {
+	cc := elasticCluster()
+	var rows []ElasticRow
+	for _, tr := range elasticTraces(quick) {
+		for _, pol := range elasticPolicies() {
+			o := workload.DefaultOptions()
+			o.Policy = pol
+			o.Elastic.Tick = 5
+			rep, err := workload.Run(cc, tr.Jobs, o)
+			if err != nil {
+				return nil, err
+			}
+			served := 0
+			for _, t := range rep.Tenants {
+				if t.Served {
+					served++
+				}
+			}
+			delays := make([]float64, 0, served)
+			for _, t := range rep.Tenants {
+				if t.Served {
+					delays = append(delays, t.QueueDelay)
+				}
+			}
+			rows = append(rows, ElasticRow{
+				Policy:        pol.String(),
+				Trace:         tr.Name,
+				Tenants:       len(tr.Jobs),
+				Served:        served,
+				P50Queue:      quantile(delays, 0.50),
+				P95Queue:      rep.P95QueueDelay,
+				P95Latency:    rep.P95Latency,
+				Makespan:      rep.Makespan,
+				Utilization:   rep.Utilization,
+				WastedWork:    rep.WastedWork,
+				Grows:         rep.Grows,
+				Shrinks:       rep.Shrinks,
+				VolShrinks:    rep.VoluntaryShrinks,
+				MaxConcurrent: rep.MaxConcurrent,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Elastic (experiment "elastic") compares the scheduling policies on
+// identical tenant traces and writes BENCH_elastic.json.
+func (r *Runner) Elastic() error {
+	cc := elasticCluster()
+	r.printf("Malleable-job policy sweep: %d-node cluster, %s/node, seed %d\n",
+		cc.Nodes, cc.MemPerNode, workloadSeed)
+	r.printf("%-14s %8s %7s %9s %9s %9s %7s %8s %6s %7s %7s\n",
+		"trace", "tenants", "policy", "q50[s]", "q95[s]", "p95[s]", "util%", "waste[s]", "grow", "shrink", "narrow")
+
+	rows, err := elasticRows(r.Quick)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		r.printf("%-14s %8d %7s %9.1f %9.1f %9.1f %6.0f%% %8.1f %6d %7d %7d\n",
+			row.Trace, row.Tenants, row.Policy, row.P50Queue, row.P95Queue, row.P95Latency,
+			100*row.Utilization, row.WastedWork, row.Grows, row.Shrinks, row.VolShrinks)
+	}
+	r.printf("\n")
+
+	path := filepath.Join(r.ArtifactDir, "BENCH_elastic.json")
+	if err := writeElasticJSON(path, rows); err != nil {
+		return err
+	}
+	r.printf("wrote %s (%d rows)\n", path, len(rows))
+	return nil
+}
+
+// quantile returns the nearest-rank q-quantile of the values.
+func quantile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	for i := 1; i < len(s); i++ { // insertion sort: tiny slices
+		for k := i; k > 0 && s[k] < s[k-1]; k-- {
+			s[k], s[k-1] = s[k-1], s[k]
+		}
+	}
+	idx := int(float64(len(s))*q+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// writeElasticJSON serializes the sweep rows with stable formatting.
+func writeElasticJSON(path string, rows []ElasticRow) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Rows []ElasticRow `json:"rows"`
+	}{rows}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestElasticPolicyDominance pins the headline claim of the elastic sweep:
+// on the skewed-burst trace, both width-flexible policies strictly improve
+// tail queueing delay over rigid FIFO admission, because they admit bursts
+// narrow instead of head-blocking at full desired width.
+func TestElasticPolicyDominance(t *testing.T) {
+	rows, err := elasticRows(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[string]ElasticRow{}
+	for _, r := range rows {
+		if r.Trace == "skewed-burst" {
+			byPolicy[r.Policy] = r
+		}
+	}
+	fifo, ok := byPolicy["fifo"]
+	if !ok {
+		t.Fatal("sweep produced no fifo row")
+	}
+	for _, pol := range []string{"fair", "regret"} {
+		r, ok := byPolicy[pol]
+		if !ok {
+			t.Fatalf("sweep produced no %s row", pol)
+		}
+		if r.P95Queue >= fifo.P95Queue {
+			t.Errorf("%s p95 queue delay %.2f not strictly below fifo %.2f", pol, r.P95Queue, fifo.P95Queue)
+		}
+		if r.Served < fifo.Served {
+			t.Errorf("%s served %d < fifo %d: faster queues must not cost completions", pol, r.Served, fifo.Served)
+		}
+		if r.Grows == 0 {
+			t.Errorf("%s recorded no grows; the sweep is not exercising malleability", pol)
+		}
+	}
+	if fifo.Grows != 0 || fifo.Shrinks != 0 {
+		t.Errorf("fifo must stay rigid, got %d grows %d shrinks", fifo.Grows, fifo.Shrinks)
+	}
+}
+
+// TestElasticWritesJSON checks the experiment writes a well-formed
+// BENCH_elastic.json with one row per policy/trace combination.
+func TestElasticWritesJSON(t *testing.T) {
+	r := New(os.Stderr)
+	r.Quick = true
+	r.ArtifactDir = t.TempDir()
+	if err := r.Run("elastic"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(r.ArtifactDir, "BENCH_elastic.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Rows []ElasticRow `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(elasticPolicies()) * len(elasticTraces(true)); len(doc.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(doc.Rows), want)
+	}
+	for _, row := range doc.Rows {
+		if row.Served == 0 {
+			t.Errorf("row %s/%s served nobody", row.Trace, row.Policy)
+		}
+	}
+}

@@ -1,0 +1,521 @@
+// Malleable jobs and the scheduling policies that drive them.
+//
+// A job's ElasticSpec declares how many containers it can usefully hold
+// (min/desired/max, resized in Step increments). The policy engine decides
+// at every simulated-time event — admission, departure, failure, restore,
+// and the optional periodic tick — which running jobs to grow into freed
+// capacity and which to shrink, either voluntarily (a job trades width for
+// queue priority at admission) or structurally (running jobs give up
+// containers so the queue head can enter). Width changes take effect at
+// block boundaries, the checkpoint granularity: partial-block progress
+// since the last boundary is re-done, exactly like a checkpoint restart.
+// Every applied change re-optimizes the job's plan through the shared
+// cache + OptimizeMemo path under a width-clamped cluster view, so the
+// plan always matches the current allocation.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"elasticml/internal/conf"
+	"elasticml/internal/obs"
+	"elasticml/internal/opt"
+)
+
+// ElasticSpec declares one job's malleability bounds. The zero value
+// normalizes to a rigid single-container job (min = desired = max = 1),
+// which behaves exactly like the pre-elasticity service.
+type ElasticSpec struct {
+	// MinContainers is the width floor the job needs to make progress.
+	MinContainers int
+	// DesiredContainers is the width the job asks for at admission.
+	DesiredContainers int
+	// MaxContainers bounds opportunistic growth.
+	MaxContainers int
+	// Step is the width increment of a single grow/shrink decision
+	// (default 1).
+	Step int
+}
+
+// normalized fills the zero value and repairs ordering so that
+// 1 <= Min <= Desired <= Max and Step >= 1.
+func (e ElasticSpec) normalized() ElasticSpec {
+	if e.MinContainers < 1 {
+		e.MinContainers = 1
+	}
+	if e.DesiredContainers < e.MinContainers {
+		e.DesiredContainers = e.MinContainers
+	}
+	if e.MaxContainers < e.DesiredContainers {
+		e.MaxContainers = e.DesiredContainers
+	}
+	if e.Step < 1 {
+		e.Step = 1
+	}
+	return e
+}
+
+// validate rejects specs that are contradictions rather than omissions.
+func (e ElasticSpec) validate() error {
+	if e.MinContainers < 0 || e.DesiredContainers < 0 || e.MaxContainers < 0 || e.Step < 0 {
+		return fmt.Errorf("elastic spec has a negative field: %+v", e)
+	}
+	if e.MaxContainers > 0 && e.MinContainers > e.MaxContainers {
+		return fmt.Errorf("elastic spec min %d exceeds max %d", e.MinContainers, e.MaxContainers)
+	}
+	return nil
+}
+
+// rigid reports whether the normalized spec pins the job to one container.
+func (e ElasticSpec) rigid() bool { return e.MaxContainers <= 1 }
+
+// Policy selects the scheduling policy for admission widths and mid-run
+// grow/shrink decisions.
+type Policy int
+
+const (
+	// PolicyFIFO is the pre-elasticity behavior: jobs are admitted at their
+	// desired width in arrival order, the queue head blocks the tail, and
+	// running jobs are never resized.
+	PolicyFIFO Policy = iota
+	// PolicyFair keeps widths proportional to the number of active tenants:
+	// admission targets the fair share (capacity / active jobs), jobs
+	// voluntarily narrow down to their minimum to enter a full cluster, the
+	// widest over-share job shrinks when the queue is blocked, and the
+	// furthest-below-share job grows when capacity frees.
+	PolicyFair
+	// PolicyRegret is an Ease.ml-style regret-minimizing scheduler: queue
+	// delay is pure regret, so jobs narrow to their minimum to start as
+	// early as possible and the queue is never head-blocked (bypass
+	// admission); freed capacity goes to the job with the highest marginal
+	// speedup per container, and structural shrink takes from the job that
+	// loses the least.
+	PolicyRegret
+)
+
+// String returns the flag spelling of the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFair:
+		return "fair"
+	case PolicyRegret:
+		return "regret"
+	}
+	return "fifo"
+}
+
+// ParsePolicy parses a -policy flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "fifo":
+		return PolicyFIFO, nil
+	case "fair", "fair-share":
+		return PolicyFair, nil
+	case "regret", "regret-min", "easeml":
+		return PolicyRegret, nil
+	}
+	return PolicyFIFO, fmt.Errorf("workload: unknown policy %q (want fifo, fair, or regret)", s)
+}
+
+// ElasticOptions tune the malleability machinery.
+type ElasticOptions struct {
+	// Alpha is the marginal speedup of each container beyond the first: a
+	// w-wide job runs speedup(w) = 1 + Alpha*(w-1) times faster than at
+	// width 1. Sub-linear (Alpha < 1) by default, so width has diminishing
+	// returns and the policies face a real tradeoff. Default 0.7.
+	Alpha float64
+	// Tick, when positive, fires a periodic elasticity decision event every
+	// Tick simulated seconds while jobs remain active, so grow/shrink
+	// decisions are not tied solely to arrivals, departures, and failures.
+	// 0 disables the tick (the default, and the pre-elasticity behavior).
+	Tick float64
+	// ResizeCharge is the simulated seconds charged to a job at every
+	// applied width change — the §5 re-optimization plus container
+	// negotiation overhead. Default 1 (like ReoptCharge).
+	ResizeCharge float64
+}
+
+// normalized fills zero-valued fields with defaults.
+func (o ElasticOptions) normalized() ElasticOptions {
+	if o.Alpha <= 0 {
+		o.Alpha = 0.7
+	}
+	if o.ResizeCharge <= 0 {
+		o.ResizeCharge = 1
+	}
+	return o
+}
+
+// speedup maps a width onto its execution speedup over width 1.
+func (o ElasticOptions) speedup(w int) float64 {
+	if w <= 1 {
+		return 1
+	}
+	return 1 + o.Alpha*float64(w-1)
+}
+
+// capacityWidth returns how many containers of the given size the live
+// cluster could hold in total if it were empty — the width ceiling any
+// admission may target. Requeued failure victims are clamped to this, so a
+// job admitted wide on a healthy cluster cannot deadlock the queue asking
+// for a width the shrunken cluster can never grant.
+func (s *Service) capacityWidth(cs conf.Bytes) int {
+	if cs <= 0 {
+		return 0
+	}
+	if cs < s.cc.MinAlloc {
+		cs = s.cc.MinAlloc
+	}
+	return int(s.cc.MemPerNode/cs) * s.rm.LiveNodes()
+}
+
+// targetWidth picks the admission width for a queued job whose per-container
+// size is cs: the policy target clamped to the spec bounds and to what the
+// live cluster could ever hold.
+func (s *Service) targetWidth(j *job, cs conf.Bytes) int {
+	e := j.espec
+	w := e.DesiredContainers
+	if cap := s.capacityWidth(cs); w > cap {
+		// The cluster shrank below the desired width: ask for what can
+		// actually exist. Never below the spec minimum — if even that does
+		// not fit, allocation fails and the job waits like any other.
+		w = cap
+	}
+	if w < e.MinContainers {
+		w = e.MinContainers
+	}
+	if s.opts.Policy == PolicyFair {
+		active := s.running + len(s.queue)
+		if active < 1 {
+			active = 1
+		}
+		fair := s.capacityWidth(cs) / active
+		if fair < e.MinContainers {
+			fair = e.MinContainers
+		}
+		if w > fair {
+			w = fair
+		}
+	}
+	return w
+}
+
+// stepDownAllowed reports whether the policy lets an admission voluntarily
+// narrow below its target width to enter a full cluster. FIFO never does —
+// it waits for the full target, the pre-elasticity behavior.
+func (s *Service) stepDownAllowed() bool { return s.opts.Policy != PolicyFIFO }
+
+// bypassAllowed reports whether a job that cannot be admitted right now may
+// be skipped over instead of blocking the queue tail.
+func (s *Service) bypassAllowed() bool { return s.opts.Policy == PolicyRegret }
+
+// elasticPass runs the policy engine after every event batch: structural
+// shrink while the queue is blocked, opportunistic growth once it drains.
+// Freed capacity always reaches queued tenants before any running job
+// widens.
+func (s *Service) elasticPass() {
+	if s.opts.Policy == PolicyFIFO {
+		return
+	}
+	if len(s.queue) > 0 {
+		s.planShrink()
+		return
+	}
+	s.planGrow()
+}
+
+// resizeCand is one running job eligible for a width change.
+type resizeCand struct {
+	j     *job
+	score float64
+}
+
+// growCandidates returns the running jobs that could widen by one step,
+// with the policy's growth priority as score (higher grows first).
+func (s *Service) growCandidates() []resizeCand {
+	var out []resizeCand
+	for _, j := range s.jobs {
+		if j.state != jsRunning || j.pendingW != 0 || j.espec.rigid() {
+			continue
+		}
+		w := len(j.conts)
+		if w >= j.espec.MaxContainers {
+			continue
+		}
+		if _, ok := s.nextBoundary(j); !ok {
+			continue
+		}
+		switch s.opts.Policy {
+		case PolicyFair:
+			fair := s.fairShare(j)
+			if w >= fair {
+				continue
+			}
+			out = append(out, resizeCand{j: j, score: float64(fair - w)})
+		default: // PolicyRegret: marginal seconds saved by one more step
+			out = append(out, resizeCand{j: j, score: s.marginalGain(j, +1)})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].score != out[b].score {
+			return out[a].score > out[b].score
+		}
+		return out[a].j.idx < out[b].j.idx
+	})
+	return out
+}
+
+// fairShare is the fair-share width target for one running job: total
+// capacity in containers of its size, divided by the active tenants.
+func (s *Service) fairShare(j *job) int {
+	active := s.running + len(s.queue)
+	if active < 1 {
+		active = 1
+	}
+	fair := s.capacityWidth(j.conts[0].Mem) / active
+	if fair < j.espec.MinContainers {
+		fair = j.espec.MinContainers
+	}
+	if fair > j.espec.MaxContainers {
+		fair = j.espec.MaxContainers
+	}
+	return fair
+}
+
+// marginalGain estimates the remaining-time change of one width step
+// (dir = +1 grow, -1 shrink): remaining work divided by the speedups.
+// Positive values are seconds saved (grow) or seconds lost (shrink).
+func (s *Service) marginalGain(j *job, dir int) float64 {
+	w := len(j.conts)
+	target := w + dir*j.espec.Step
+	if target < 1 {
+		target = 1
+	}
+	rem := (1 - s.progressAt(j)) * j.total
+	if rem < 0 {
+		rem = 0
+	}
+	g := rem/s.opts.Elastic.speedup(w) - rem/s.opts.Elastic.speedup(target)
+	if dir < 0 {
+		g = -g
+	}
+	return g
+}
+
+// planGrow schedules opportunistic growth while the queue is empty: each
+// candidate widens by one step at its next block boundary, as long as the
+// free capacity not yet promised to an earlier candidate covers it.
+func (s *Service) planGrow() {
+	cands := s.growCandidates()
+	if len(cands) == 0 {
+		return
+	}
+	budget := float64(s.rm.AvailableMem())
+	for _, c := range cands {
+		j := c.j
+		w := len(j.conts)
+		target := w + j.espec.Step
+		if target > j.espec.MaxContainers {
+			target = j.espec.MaxContainers
+		}
+		if s.opts.Policy == PolicyFair {
+			if fair := s.fairShare(j); target > fair {
+				target = fair
+			}
+		}
+		if target <= w {
+			continue
+		}
+		need := float64(target-w) * float64(j.conts[0].Mem)
+		if need > budget {
+			continue
+		}
+		if s.scheduleResize(j, target) {
+			budget -= need
+		}
+	}
+}
+
+// planShrink schedules one structural shrink while the queue is blocked:
+// the policy's victim gives up one width step at its next block boundary,
+// and the freed containers reach the queue at the resize event. One victim
+// per pass — capacity frees, admission retries, and the next blocked pass
+// shrinks further if needed.
+func (s *Service) planShrink() {
+	var best *job
+	var bestScore float64
+	for _, j := range s.jobs {
+		if j.state != jsRunning || j.pendingW != 0 || j.espec.rigid() {
+			continue
+		}
+		w := len(j.conts)
+		if w <= j.espec.MinContainers {
+			continue
+		}
+		if s.opts.Policy == PolicyFair && w <= s.fairShare(j) {
+			continue // fair-share only takes from over-share jobs
+		}
+		if _, ok := s.nextBoundary(j); !ok {
+			continue
+		}
+		var score float64
+		if s.opts.Policy == PolicyFair {
+			score = float64(w - s.fairShare(j)) // widest over share first
+		} else {
+			score = -s.marginalGain(j, -1) // least seconds lost first
+		}
+		if best == nil || score > bestScore {
+			best, bestScore = j, score
+		}
+	}
+	if best == nil {
+		return
+	}
+	target := len(best.conts) - best.espec.Step
+	if target < best.espec.MinContainers {
+		target = best.espec.MinContainers
+	}
+	s.scheduleResize(best, target)
+}
+
+// nextBoundary returns the simulated time of the job's next width-change
+// eligibility point: the end of its current admission/resize charge (no new
+// work has run yet), or the next block boundary of its progress schedule.
+// ok is false when the next boundary is completion itself.
+func (s *Service) nextBoundary(j *job) (float64, bool) {
+	if j.blocks < 1 || j.ckpt >= 1 {
+		return 0, false
+	}
+	if s.now <= j.execStart {
+		// Inside the charge window: progress is still pinned to the last
+		// boundary, so the width can change as soon as execution starts.
+		return j.execStart, true
+	}
+	p := s.progressAt(j)
+	bf := float64(j.blocks)
+	b := math.Ceil(p*bf-1e-9) / bf
+	if b >= 1-1e-12 {
+		return 0, false
+	}
+	t := j.execStart + (b-j.ckpt)/(1-j.ckpt)*(j.finish-j.execStart)
+	if t < s.now {
+		t = s.now
+	}
+	return t, true
+}
+
+// scheduleResize books a width change for a running job at its next block
+// boundary. The pending target keeps the planner from double-promising the
+// same capacity; the event's generation check drops the plan if anything
+// reschedules the job first.
+func (s *Service) scheduleResize(j *job, target int) bool {
+	at, ok := s.nextBoundary(j)
+	if !ok || target == len(j.conts) {
+		return false
+	}
+	j.pendingW = target
+	s.push(event{at: at, kind: evResize, job: j.idx, gen: j.gen})
+	return true
+}
+
+// applyResize delivers a scheduled width change: re-clamp the target to
+// what the cluster can grant right now, claim or release containers, snap
+// progress down to the last completed block boundary, and re-optimize the
+// plan under the new allocation through the shared cache + OptimizeMemo
+// path (§5 — the plan always matches the current allocation). The job is
+// re-simulated under the re-optimized configuration, so its outputs remain
+// exactly the plan-invariant results every fixed-width run produces.
+func (s *Service) applyResize(ev event) {
+	j := s.jobs[ev.job]
+	if j.state != jsRunning || ev.gen != j.gen || j.pendingW == 0 {
+		return
+	}
+	target := j.pendingW
+	j.pendingW = 0
+	w := len(j.conts)
+	if target == w || target < 1 {
+		return
+	}
+	cs := j.conts[0].Mem
+	if target > w {
+		got, err := s.rm.AllocateGroup(target-w, cs)
+		if err != nil {
+			// The capacity promised at planning time went elsewhere (an
+			// admission or another grow won the race of events). Keep the
+			// current width; the next pass re-plans against reality.
+			return
+		}
+		j.conts = append(j.conts, got...)
+	} else {
+		for _, c := range j.conts[target:] {
+			if err := s.rm.Release(c.ID); err != nil {
+				s.tr.Complete(obs.LayerWorkload, "workload.release-error", s.now, 0,
+					obs.A("tenant", j.result.Tenant), obs.A("err", err.Error()))
+			}
+		}
+		j.conts = j.conts[:target]
+	}
+	newW := len(j.conts)
+
+	c, err := s.compileJob(j)
+	if err == nil {
+		res, cost, _ := s.optimizeUnder(c, opt.WidthClamped(s.live, cs), s.optOpts())
+		sr := s.simulate(c, res)
+		if sr.err != nil {
+			err = sr.err
+		} else {
+			// Width changes commit at block boundaries: partial progress
+			// since the last boundary is re-done, like a checkpoint restart.
+			done := s.progressAt(j)
+			ck := math.Floor(done*float64(j.blocks)+1e-9) / float64(j.blocks)
+			if ck < j.ckpt {
+				ck = j.ckpt
+			}
+			if ck > 1 {
+				ck = 1
+			}
+			j.res, j.cost = res, cost
+			if j.blocks = c.hp.NumLeaf; j.blocks < 1 {
+				j.blocks = 1
+			}
+			j.total = sr.simSeconds
+			j.ckpt = ck
+			exec := sr.simSeconds * (1 - ck) / s.opts.Elastic.speedup(newW) * j.slow
+			j.gen++
+			j.execStart = s.now + s.opts.Elastic.ResizeCharge
+			j.finish = j.execStart + exec
+			s.push(event{at: j.finish, kind: evDepart, job: j.idx, gen: j.gen})
+			j.result.Outputs = sr.outputs
+			j.result.Prints = sr.prints
+			j.result.OutputHash = outputHash(sr.paths, sr.outputs, sr.dims, sr.prints)
+			j.result.Config = j.res.String()
+		}
+	}
+	if err != nil {
+		// The program compiled and ran at admission; a failure here is a
+		// bookkeeping bug, not a tenant error — surface it and keep the old
+		// schedule (the old depart event is still valid: gen unchanged).
+		s.tr.Complete(obs.LayerWorkload, "workload.resize-error", s.now, 0,
+			obs.A("tenant", j.result.Tenant), obs.A("err", err.Error()))
+	}
+	j.result.Width = newW
+	if newW < j.result.MinWidth {
+		j.result.MinWidth = newW
+	}
+	if newW > w {
+		j.result.Grows++
+		s.rep.Grows++
+		s.tr.Metrics().Add("workload.grows", 1)
+	} else {
+		j.result.Shrinks++
+		s.rep.Shrinks++
+		s.tr.Metrics().Add("workload.shrinks", 1)
+	}
+	s.brk.recordChurn(s.now)
+	s.tr.Complete(obs.LayerWorkload, "workload.resize", s.now, s.opts.Elastic.ResizeCharge,
+		obs.A("tenant", j.result.Tenant), obs.A("from", w), obs.A("to", newW),
+		obs.A("config", j.res.String()))
+	s.tr.Metrics().Add("workload.resizes", 1)
+}

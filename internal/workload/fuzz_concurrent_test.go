@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"elasticml/internal/conf"
 	"elasticml/internal/dml"
@@ -141,6 +143,84 @@ func TestFuzzConcurrentMatchesIsolated(t *testing.T) {
 				t.Errorf("fuzz-%02d output %s not bit-identical between service and isolated run", i, path)
 			}
 		}
+	}
+}
+
+// TestFuzzElasticChaos interleaves seeded grow/shrink with chaos flaps and
+// a shed-mode circuit breaker: K malleable fuzzer programs (half pinned to
+// MinContainers 2) under the regret policy with a fast elasticity tick.
+// Invariants: no served job ever ran below its MinContainers, the report's
+// WastedWork equals the per-tenant sum, served outputs still match the
+// isolated reference bit for bit, and the service leaks no goroutines.
+func TestFuzzElasticChaos(t *testing.T) {
+	const k = 6
+	cc := demoCluster()
+	jobs := fuzzJobs(k)
+	for i := range jobs {
+		jobs[i].Elastic = ElasticSpec{MinContainers: 1, DesiredContainers: 2, MaxContainers: 4}
+		if i%2 == 1 {
+			jobs[i].Elastic.MinContainers = 2
+		}
+	}
+	o := DefaultOptions()
+	o.Workers = 4
+	o.Policy = PolicyRegret
+	o.Elastic.Tick = 1
+	o.Breaker = BreakerPolicy{Enabled: true, Window: 30, FailureThreshold: 3,
+		ChurnThreshold: 50, Cooldown: 10, HalfOpenProbes: 2}
+	o.Chaos = fault.ChaosPlan{Flaps: []fault.Flap{
+		{Node: 1, At: 3, RestoreAfter: 0.5},
+		{Node: 0, At: 9, RestoreAfter: 0.5},
+	}}
+
+	before := runtime.NumGoroutine()
+	rep, err := Run(cc, jobs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wastedSum float64
+	resized := 0
+	for i, tn := range rep.Tenants {
+		wastedSum += tn.WastedWork
+		resized += tn.Grows + tn.Shrinks
+		if !tn.Served {
+			continue
+		}
+		min := jobs[i].Elastic.normalized().MinContainers
+		if tn.MinWidth > 0 && tn.MinWidth < min {
+			t.Errorf("%s ran at width %d below MinContainers %d", tn.Tenant, tn.MinWidth, min)
+		}
+		if tn.Width > jobs[i].Elastic.MaxContainers {
+			t.Errorf("%s ended at width %d above MaxContainers %d", tn.Tenant, tn.Width, jobs[i].Elastic.MaxContainers)
+		}
+		p := verify.FuzzProgram(fuzzSeed, i)
+		wantOut, wantPrints := isolatedRun(t, p, cc)
+		if tn.Prints != wantPrints {
+			t.Errorf("%s print stream diverged under elastic chaos", tn.Tenant)
+		}
+		for path, want := range wantOut {
+			if g, ok := tn.Outputs[path]; !ok || !sameMatrix(g, want) {
+				t.Errorf("%s output %s diverged under elastic chaos", tn.Tenant, path)
+			}
+		}
+	}
+	if resized == 0 {
+		t.Error("no grow/shrink fired; the fuzz run is not exercising elasticity")
+	}
+	if math.Abs(rep.WastedWork-wastedSum) > 1e-9 {
+		t.Errorf("report WastedWork %.6f != per-tenant sum %.6f", rep.WastedWork, wastedSum)
+	}
+	// The worker pool must drain when Run returns; give exiting goroutines
+	// a moment to unwind before declaring a leak.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before+1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before+1 {
+		t.Errorf("goroutines grew from %d to %d after Run returned", before, got)
 	}
 }
 

@@ -54,6 +54,42 @@ func Generate(seed int64, n int, meanGap float64) []JobSpec {
 	return jobs
 }
 
+// GenerateSkewedBurst builds a deterministic bursty, elasticity-annotated
+// workload: jobs arrive in tight bursts (2-4 tenants a quarter second
+// apart) separated by long idle gaps, and every job is malleable —
+// MinContainers 1, DesiredContainers 2-3, MaxContainers 4. On a small
+// cluster a rigid FIFO admission head-blocks each burst at full desired
+// width, while width-flexible policies admit narrow during the burst and
+// grow in the gaps — the trace the elastic bench sweep compares policies
+// on.
+func GenerateSkewedBurst(seed int64, n int) []JobSpec {
+	r := rand.New(rand.NewSource(seed))
+	progs := genPrograms()
+	scens := genScenarios()
+	jobs := make([]JobSpec, 0, n)
+	arrival := 0.0
+	for len(jobs) < n {
+		burst := 2 + r.Intn(3)
+		for k := 0; k < burst && len(jobs) < n; k++ {
+			i := len(jobs)
+			jobs = append(jobs, JobSpec{
+				Tenant:   fmt.Sprintf("tenant-%02d", i),
+				Script:   progs[r.Intn(len(progs))],
+				Scenario: scens[r.Intn(len(scens))],
+				Arrival:  arrival + float64(k)*0.25,
+				Elastic: ElasticSpec{
+					MinContainers:     1,
+					DesiredContainers: 2 + r.Intn(2),
+					MaxContainers:     4,
+				},
+			})
+		}
+		gap := 25 + r.ExpFloat64()*50
+		arrival += math.Round(gap*1000) / 1000
+	}
+	return jobs
+}
+
 // scenarioFile is the on-disk workload description accepted by
 // LoadScenario (and the elastic-serve -scenario flag).
 type scenarioFile struct {
@@ -67,6 +103,12 @@ type scenarioJob struct {
 	Cols     int64   `json:"cols"`
 	Sparsity float64 `json:"sparsity"`
 	Arrival  float64 `json:"arrival"`
+	// Optional malleability bounds; all zero means a rigid one-container
+	// job (see ElasticSpec).
+	MinContainers     int `json:"min_containers,omitempty"`
+	DesiredContainers int `json:"desired_containers,omitempty"`
+	MaxContainers     int `json:"max_containers,omitempty"`
+	WidthStep         int `json:"width_step,omitempty"`
 }
 
 // LoadScenario parses a JSON workload description: a list of jobs naming
@@ -109,7 +151,15 @@ func LoadScenario(rd io.Reader) ([]JobSpec, error) {
 		if tenant == "" {
 			tenant = fmt.Sprintf("tenant-%02d", i)
 		}
-		jobs[i] = JobSpec{Tenant: tenant, Script: spec, Scenario: sc, Arrival: sj.Arrival}
+		jobs[i] = JobSpec{
+			Tenant: tenant, Script: spec, Scenario: sc, Arrival: sj.Arrival,
+			Elastic: ElasticSpec{
+				MinContainers:     sj.MinContainers,
+				DesiredContainers: sj.DesiredContainers,
+				MaxContainers:     sj.MaxContainers,
+				Step:              sj.WidthStep,
+			},
+		}
 	}
 	return jobs, nil
 }

@@ -57,6 +57,18 @@ type TenantResult struct {
 	// Served is false for tenants the shrunken cluster could never admit.
 	Served bool `json:"served"`
 
+	// Width is the number of containers the job last held (1 for rigid
+	// jobs); MinWidth is the narrowest width it ever ran at — never below
+	// the spec's MinContainers.
+	Width    int `json:"width,omitempty"`
+	MinWidth int `json:"min_width,omitempty"`
+	// Grows / Shrinks count applied mid-run width changes.
+	Grows   int `json:"grows,omitempty"`
+	Shrinks int `json:"shrinks,omitempty"`
+	// Narrowed marks an admission below the policy's target width: the job
+	// voluntarily traded width for queue priority.
+	Narrowed bool `json:"narrowed,omitempty"`
+
 	// Error is the deterministic message of the terminal error, if any.
 	Error string `json:"error,omitempty"`
 	// Err is the typed terminal error for errors.Is/errors.As; it is not
@@ -123,6 +135,12 @@ type Report struct {
 	// BreakerDegraded counts admissions it forced onto the fallback plan.
 	BreakerTrips    int `json:"breaker_trips,omitempty"`
 	BreakerDegraded int `json:"breaker_degraded,omitempty"`
+	// Grows / Shrinks count applied mid-run width changes across all jobs;
+	// VoluntaryShrinks counts admissions that narrowed below the policy
+	// target to enter a full cluster.
+	Grows            int `json:"grows,omitempty"`
+	Shrinks          int `json:"shrinks,omitempty"`
+	VoluntaryShrinks int `json:"voluntary_shrinks,omitempty"`
 }
 
 // finalize computes the aggregate fields from per-tenant results.
@@ -213,6 +231,18 @@ func (r *Report) WriteTable(w io.Writer) error {
 		if t.SlowEpisodes > 0 {
 			flags += fmt.Sprintf("slow:%d ", t.SlowEpisodes)
 		}
+		if t.Width > 1 {
+			flags += fmt.Sprintf("w:%d ", t.Width)
+		}
+		if t.Grows > 0 {
+			flags += fmt.Sprintf("grow:%d ", t.Grows)
+		}
+		if t.Shrinks > 0 {
+			flags += fmt.Sprintf("shrink:%d ", t.Shrinks)
+		}
+		if t.Narrowed {
+			flags += "narrowed "
+		}
 		if !t.Served {
 			switch {
 			case t.FailedPermanently:
@@ -240,6 +270,13 @@ func (r *Report) WriteTable(w io.Writer) error {
 		cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions,
 		r.ReoptChecks, r.ReoptChanges, r.DepartureReopts, r.FailureReopts, r.RestoreReopts, r.NodeFailures, r.Requeues); err != nil {
 		return err
+	}
+	if r.Grows+r.Shrinks+r.VoluntaryShrinks > 0 {
+		if _, err := fmt.Fprintf(w,
+			"elastic: %d grows, %d shrinks, %d voluntary narrowed admissions\n",
+			r.Grows, r.Shrinks, r.VoluntaryShrinks); err != nil {
+			return err
+		}
 	}
 	if r.NodeRestores+r.SlowNodeEvents+r.FailedPermanently+r.Shed+r.BreakerTrips > 0 || r.WastedWork > 0 {
 		if _, err := fmt.Fprintf(w,

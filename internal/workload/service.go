@@ -25,16 +25,20 @@ import (
 )
 
 // evKind orders same-time events: chaos (node loss, restore, slow episodes)
-// is observed before the departures it might invalidate, retry re-admissions
-// join the queue after departures freed capacity, and arrivals are admitted
-// last, against the post-chaos, post-departure cluster state.
+// is observed before the departures it might invalidate, width changes land
+// after departures freed the capacity they were promised, retry
+// re-admissions join the queue after resizes freed theirs, arrivals are
+// admitted last against the settled cluster state, and the periodic
+// elasticity tick observes everything that happened at its instant.
 type evKind int
 
 const (
 	evChaos evKind = iota
 	evDepart
+	evResize
 	evRetry
 	evArrive
+	evTick
 )
 
 // event is one discrete-event queue entry.
@@ -119,7 +123,15 @@ type job struct {
 
 	res  conf.Resources
 	cost float64
-	cont yarn.Container
+	// conts are the job's granted containers (the AM first); len(conts) is
+	// the job's current width. Rigid jobs always hold exactly one.
+	conts []yarn.Container
+	// espec is the normalized elasticity spec from the submission.
+	espec ElasticSpec
+	// pendingW is a booked width change's target (0 = none): set when a
+	// resize event is pushed, cleared when it fires or the job is
+	// rescheduled out from under it.
+	pendingW int
 
 	// gen invalidates stale departure/retry events after re-optimization,
 	// failure, or slow-node stretching rescheduled the job.
@@ -263,7 +275,7 @@ func (s *Service) Run(specs []JobSpec) (*Report, error) {
 // job's index.
 func (s *Service) submit(spec JobSpec) int {
 	i := len(s.jobs)
-	j := &job{idx: i, spec: spec, slow: 1}
+	j := &job{idx: i, spec: spec, slow: 1, espec: spec.Elastic.normalized()}
 	tenant := spec.Tenant
 	if tenant == "" {
 		tenant = fmt.Sprintf("tenant-%02d", i)
@@ -316,6 +328,9 @@ func (s *Service) ScheduleChaos() {
 	for i, ne := range s.chaos {
 		s.push(event{at: ne.At, kind: evChaos, chaos: i})
 	}
+	if s.opts.Elastic.Tick > 0 {
+		s.push(event{at: s.opts.Elastic.Tick, kind: evTick})
+	}
 }
 
 // Step processes the next event-time batch — chaos, departures, retries,
@@ -329,7 +344,7 @@ func (s *Service) Step() bool {
 	}
 	batch := s.popBatch()
 	s.advanceTo(batch[0].at)
-	failed, restored, departed := false, false, false
+	failed, restored, departed, ticked := false, false, false, false
 	var retryJoins []int
 	for _, ev := range batch {
 		switch ev.kind {
@@ -341,12 +356,16 @@ func (s *Service) Step() bool {
 			if s.applyDepart(ev) {
 				departed = true
 			}
+		case evResize:
+			s.applyResize(ev)
 		case evRetry:
 			if idx, ok := s.applyRetry(ev); ok {
 				retryJoins = append(retryJoins, idx)
 			}
 		case evArrive:
 			s.applyArrive(ev)
+		case evTick:
+			ticked = true
 		}
 	}
 	// Failure victims rejoin at the queue front (they already waited
@@ -365,6 +384,17 @@ func (s *Service) Step() bool {
 		s.reoptimize("departure")
 	}
 	s.tryAdmit()
+	// The policy engine runs after admission, so freed capacity reaches
+	// queued tenants before any running job widens into it.
+	s.elasticPass()
+	if ticked && s.opts.Elastic.Tick > 0 {
+		for _, j := range s.jobs {
+			if j.state == jsPending || j.state == jsQueued || j.state == jsRunning || j.state == jsBackoff {
+				s.push(event{at: s.now + s.opts.Elastic.Tick, kind: evTick})
+				break
+			}
+		}
+	}
 	return true
 }
 
@@ -457,16 +487,13 @@ func (s *Service) Cancel(idx int) bool {
 		}
 	case jsRunning:
 		wasRunning = true
-		if err := s.rm.Release(j.cont.ID); err != nil && !errors.Is(err, yarn.ErrUnknownContainer) {
-			s.tr.Complete(obs.LayerWorkload, "workload.release-error", s.now, 0,
-				obs.A("tenant", j.result.Tenant), obs.A("err", err.Error()))
-		}
-		j.cont = yarn.Container{}
+		s.releaseAll(j)
 		s.running--
 	default:
 		return false // already terminal
 	}
-	j.gen++ // invalidate any scheduled departure or retry event
+	j.gen++ // invalidate any scheduled departure, resize, or retry event
+	j.pendingW = 0
 	j.state = jsCanceled
 	j.result.Canceled = true
 	j.result.Err = fmt.Errorf("%w: %s", ErrCanceled, j.result.Tenant)
@@ -480,7 +507,20 @@ func (s *Service) Cancel(idx int) bool {
 		s.reoptimize("departure")
 	}
 	s.tryAdmit()
+	s.elasticPass()
 	return true
+}
+
+// releaseAll returns every container a job still holds. Containers that
+// died with their node are already unknown to the RM and are skipped.
+func (s *Service) releaseAll(j *job) {
+	for _, c := range j.conts {
+		if err := s.rm.Release(c.ID); err != nil && !errors.Is(err, yarn.ErrUnknownContainer) {
+			s.tr.Complete(obs.LayerWorkload, "workload.release-error", s.now, 0,
+				obs.A("tenant", j.result.Tenant), obs.A("err", err.Error()))
+		}
+	}
+	j.conts = nil
 }
 
 // push enqueues an event with the next insertion sequence number.
@@ -573,10 +613,21 @@ func (s *Service) applyNodesDown(ne fault.NodeEvent) bool {
 		lostIDs[c.ID] = true
 	}
 	for _, j := range s.jobs {
-		if j.state != jsRunning || !lostIDs[j.cont.ID] {
+		if j.state != jsRunning {
 			continue
 		}
-		s.failRunning(j, ne.Cause)
+		hit := false
+		for _, c := range j.conts {
+			if lostIDs[c.ID] {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			// Any lost container kills the job's current attempt; survivors
+			// on live nodes are returned inside the recovery path.
+			s.failRunning(j, ne.Cause)
+		}
 	}
 	return true
 }
@@ -602,8 +653,9 @@ func (s *Service) failRunning(j *job, cause string) {
 	j.result.WastedWork += wasted
 	s.rep.WastedWork += wasted
 
-	j.gen++ // invalidate the scheduled departure
-	j.cont = yarn.Container{}
+	j.gen++ // invalidate the scheduled departure and any booked resize
+	j.pendingW = 0
+	s.releaseAll(j) // survivors on live nodes go back to the pool
 	j.slow = 1
 	j.requeued = true
 	j.retries++
@@ -673,7 +725,9 @@ func (s *Service) applyNodeSpeed(node int, factor float64, cause string) {
 		obs.A("cause", cause))
 	s.tr.Metrics().Add("workload.slow_node_events", 1)
 	for _, j := range s.jobs {
-		if j.state != jsRunning || j.cont.Node != node || j.slow == eff {
+		// The AM container's node sets the job's effective speed — the
+		// progress schedule follows the coordinating process.
+		if j.state != jsRunning || j.conts[0].Node != node || j.slow == eff {
 			continue
 		}
 		rem := j.finish - s.now
@@ -683,6 +737,7 @@ func (s *Service) applyNodeSpeed(node int, factor float64, cause string) {
 		rem *= eff / j.slow
 		j.slow = eff
 		j.gen++
+		j.pendingW = 0 // the booked resize (if any) went stale with the gen
 		j.finish = s.now + rem
 		s.push(event{at: j.finish, kind: evDepart, job: j.idx, gen: j.gen})
 		j.result.SlowEpisodes++
@@ -698,14 +753,10 @@ func (s *Service) applyDepart(ev event) bool {
 	if j.state != jsRunning || ev.gen != j.gen {
 		return false
 	}
-	if err := s.rm.Release(j.cont.ID); err != nil && !errors.Is(err, yarn.ErrUnknownContainer) {
-		// ErrUnknownContainer would mean the container died with a node
-		// between events (impossible given the generation check); anything
-		// else is a real bookkeeping bug worth surfacing in the trace.
-		s.tr.Complete(obs.LayerWorkload, "workload.release-error", s.now, 0,
-			obs.A("tenant", j.result.Tenant), obs.A("err", err.Error()))
-	}
-	j.cont = yarn.Container{}
+	// ErrUnknownContainer inside releaseAll would mean a container died
+	// with a node between events (impossible given the generation check);
+	// real bookkeeping bugs surface in the trace.
+	s.releaseAll(j)
 	j.state = jsDone
 	j.result.Served = true
 	j.result.Finished = s.now
@@ -842,14 +893,23 @@ func (s *Service) shedJob(j *job) {
 // only if that configuration's AM container does not fit the largest free
 // chunk is it re-optimized under a clamped cluster (degraded admission).
 // The circuit breaker gates every attempt: while open, first-time
-// admissions are shed or forced onto the degraded-fallback plan. The head
-// of the queue blocks the tail — FIFO, no bypass.
+// admissions are shed or forced onto the degraded-fallback plan.
+//
+// The admission width is the policy's target clamped to the spec bounds
+// and to what the live cluster could ever hold (so requeued failure
+// victims never wait forever for a width the shrunken cluster cannot
+// grant). Under fair-share and regret the job steps its width down toward
+// MinContainers when the full target does not fit — a voluntary shrink
+// trading width for queue priority. Under FIFO and fair-share the head of
+// the queue blocks the tail; the regret policy bypasses jobs it cannot
+// place and re-queues them in order.
 func (s *Service) tryAdmit() {
 	type admission struct {
 		j *job
 		c *compiled
 	}
 	var adm []admission
+	var skipped []int // bypassed entries, re-prepended in order below
 	for len(s.queue) > 0 {
 		j := s.jobs[s.queue[0]]
 		gate := s.brk.gate(s.now)
@@ -902,13 +962,31 @@ func (s *Service) tryAdmit() {
 			clamped.MaxAlloc = chunk
 			res2, cost2, hit2 := s.optimizeUnder(c, clamped, opts)
 			if s.cc.ContainerSize(res2.CP) > chunk {
+				if s.bypassAllowed() {
+					skipped = append(skipped, s.queue[0])
+					s.queue = s.queue[1:]
+					continue
+				}
 				break // not even the clamped optimum fits right now
 			}
 			res, cost = res2, cost2
 			hit = hit && hit2
 			degraded = true
 		}
-		cont, err := s.rm.Allocate(s.cc.ContainerSize(res.CP))
+		cs := s.cc.ContainerSize(res.CP)
+		w := s.targetWidth(j, cs)
+		tgt := w
+		conts, err := s.rm.AllocateGroup(w, cs)
+		for err != nil && errors.Is(err, yarn.ErrNoCapacity) &&
+			s.stepDownAllowed() && w > j.espec.MinContainers {
+			// Voluntary shrink: narrow toward the spec minimum rather than
+			// wait for the full target width.
+			w -= j.espec.Step
+			if w < j.espec.MinContainers {
+				w = j.espec.MinContainers
+			}
+			conts, err = s.rm.AllocateGroup(w, cs)
+		}
 		if err != nil {
 			if errors.Is(err, yarn.ErrOverMaxAllocation) {
 				// The chosen plan can never be granted on this cluster —
@@ -922,12 +1000,26 @@ func (s *Service) tryAdmit() {
 					obs.A("tenant", j.result.Tenant), obs.A("err", err.Error()))
 				continue
 			}
+			if s.bypassAllowed() {
+				skipped = append(skipped, s.queue[0])
+				s.queue = s.queue[1:]
+				continue
+			}
 			break // ErrNoCapacity: retry at the next event
 		}
 		s.queue = s.queue[1:]
 		j.state = jsRunning
-		j.cont = cont
+		j.conts = conts
 		j.res, j.cost = res, cost
+		j.result.Width = w
+		if j.result.MinWidth == 0 || w < j.result.MinWidth {
+			j.result.MinWidth = w
+		}
+		if w < tgt {
+			j.result.Narrowed = true
+			s.rep.VoluntaryShrinks++
+			s.tr.Metrics().Add("workload.voluntary_shrinks", 1)
+		}
 		j.result.Admitted = s.now
 		if j.result.Requeues == 0 {
 			// Admission latency is the wait for the FIRST admission;
@@ -948,6 +1040,9 @@ func (s *Service) tryAdmit() {
 		}
 		adm = append(adm, admission{j: j, c: c})
 	}
+	if len(skipped) > 0 {
+		s.queue = append(skipped, s.queue...)
+	}
 	if len(adm) == 0 {
 		return
 	}
@@ -962,11 +1057,7 @@ func (s *Service) tryAdmit() {
 		j := a.j
 		sr := sims[i]
 		if sr.err != nil {
-			if err := s.rm.Release(j.cont.ID); err != nil && !errors.Is(err, yarn.ErrUnknownContainer) {
-				s.tr.Complete(obs.LayerWorkload, "workload.release-error", s.now, 0,
-					obs.A("tenant", j.result.Tenant), obs.A("err", err.Error()))
-			}
-			j.cont = yarn.Container{}
+			s.releaseAll(j)
 			j.state = jsFailed
 			j.result.Err = sr.err
 			j.result.Error = sr.err.Error()
@@ -998,8 +1089,10 @@ func (s *Service) tryAdmit() {
 			j.blocks = 1
 		}
 		j.total = sr.simSeconds
-		exec := sr.simSeconds * (1 - j.ckpt)
-		if speed := s.rm.NodeSpeed(j.cont.Node); speed > 1 {
+		// A wider job divides its remaining work by the (sub-linear) width
+		// speedup; width 1 is exactly the rigid schedule.
+		exec := sr.simSeconds * (1 - j.ckpt) / s.opts.Elastic.speedup(len(j.conts))
+		if speed := s.rm.NodeSpeed(j.conts[0].Node); speed > 1 {
 			eff, _ := mr.EffectiveSlowdown(speed, s.opts.TaskPolicy)
 			exec *= eff
 			j.slow = eff
@@ -1085,6 +1178,7 @@ func (s *Service) reoptimize(trigger string) {
 	opts := s.optOpts()
 	type cand struct {
 		j    *job
+		cc   conf.Cluster
 		comp *compiled
 		key  string
 		memo *opt.Memo
@@ -1095,10 +1189,16 @@ func (s *Service) reoptimize(trigger string) {
 	}
 	cands := make([]*cand, len(running))
 	for i, j := range running {
-		c := &cand{j: j}
+		c := &cand{j: j, cc: s.live}
+		if len(j.conts) > 1 {
+			// A multi-container job keeps its granted container size: the
+			// re-optimization searches under a width-clamped view, so the
+			// chosen plan always fits the containers it already holds.
+			c.cc = opt.WidthClamped(s.live, j.conts[0].Mem)
+		}
 		c.comp, c.err = s.compileJob(j)
 		if c.err == nil {
-			c.key = opt.CacheKey(c.comp.source, c.comp.params, c.comp.inputs, s.live, opts)
+			c.key = opt.CacheKey(c.comp.source, c.comp.params, c.comp.inputs, c.cc, opts)
 			if res, cost, ok := s.cache.Lookup(c.key); ok {
 				c.res, c.cost, c.hit = res, cost, true
 			} else {
@@ -1115,7 +1215,7 @@ func (s *Service) reoptimize(trigger string) {
 		if c.err != nil || c.hit {
 			return
 		}
-		o := &opt.Optimizer{CC: s.live, Opts: opts}
+		o := &opt.Optimizer{CC: c.cc, Opts: opts}
 		r := o.OptimizeMemo(c.comp.hp, c.memo)
 		c.res, c.cost = r.Res, r.Cost
 	})
@@ -1141,15 +1241,22 @@ func (s *Service) applyReopt(j *job, res conf.Resources, cost float64, trigger s
 		return
 	}
 	need := s.cc.ContainerSize(res.CP)
-	if need != j.cont.Mem {
+	if len(j.conts) > 1 {
+		// Multi-container jobs were optimized under a width-clamped view,
+		// so the new plan fits the containers they already hold; only the
+		// configuration and schedule change, never the allocation.
+		if need > j.conts[0].Mem {
+			return // defensive: never outgrow the granted containers
+		}
+	} else if need != j.conts[0].Mem {
 		// The job's own container is released first, so its memory counts
 		// toward the free slice it may grow into.
-		freeSame, _ := s.rm.FreeOnNode(j.cont.Node)
-		if need > j.cont.Mem+freeSame && need > s.rm.MaxFreeChunk() {
+		freeSame, _ := s.rm.FreeOnNode(j.conts[0].Node)
+		if need > j.conts[0].Mem+freeSame && need > s.rm.MaxFreeChunk() {
 			return // no room to grow — keep the current configuration
 		}
-		oldMem := j.cont.Mem
-		if err := s.rm.Release(j.cont.ID); err != nil {
+		oldMem := j.conts[0].Mem
+		if err := s.rm.Release(j.conts[0].ID); err != nil {
 			return
 		}
 		cont, err := s.rm.Allocate(need)
@@ -1161,6 +1268,7 @@ func (s *Service) applyReopt(j *job, res conf.Resources, cost float64, trigger s
 				// Cannot even re-take the old slot (impossible in the
 				// sequential loop); route the job through the recovery
 				// policy like any other container loss.
+				j.conts = nil
 				s.failRunning(j, "reopt")
 				if j.state == jsBackoff {
 					// Skip the backoff — the container was lost to
@@ -1170,10 +1278,10 @@ func (s *Service) applyReopt(j *job, res conf.Resources, cost float64, trigger s
 				}
 				return
 			}
-			j.cont = cont
+			j.conts[0] = cont
 			return
 		}
-		j.cont = cont
+		j.conts[0] = cont
 	}
 	oldRes := j.res
 	rem := j.finish - s.now
@@ -1186,6 +1294,7 @@ func (s *Service) applyReopt(j *job, res conf.Resources, cost float64, trigger s
 	j.res = res
 	j.cost = cost
 	j.gen++
+	j.pendingW = 0 // the booked resize (if any) went stale with the gen
 	j.finish = s.now + s.opts.ReoptCharge + rem
 	s.push(event{at: j.finish, kind: evDepart, job: j.idx, gen: j.gen})
 	j.result.Reopts++

@@ -62,6 +62,9 @@ type JobSpec struct {
 	Source string
 	Params map[string]interface{}
 	Setup  func(fs *hdfs.FS)
+	// Elastic declares the job's malleability bounds. The zero value
+	// normalizes to a rigid single-container job, today's behavior.
+	Elastic ElasticSpec
 }
 
 // name returns the program name for reports.
@@ -128,6 +131,14 @@ type Options struct {
 	// Breaker configures the circuit-breaker admission guard (zero value:
 	// disabled).
 	Breaker BreakerPolicy
+	// Policy selects the scheduling policy that decides admission widths and
+	// mid-run grow/shrink of malleable jobs. The zero value is PolicyFIFO:
+	// desired-width admission, head-of-queue blocking, no resizes — exactly
+	// the pre-elasticity behavior.
+	Policy Policy
+	// Elastic tunes the malleability machinery: the width speedup model, the
+	// periodic decision tick, and the per-resize charge.
+	Elastic ElasticOptions
 	// TaskPolicy governs straggler speculation: a slowed node's effective
 	// slowdown is capped by speculative backups exactly like a straggling
 	// task's. The zero value normalizes to Hadoop-like defaults.
@@ -181,6 +192,7 @@ func (o Options) normalized() Options {
 	}
 	o.Recovery = o.Recovery.normalized()
 	o.TaskPolicy = o.TaskPolicy.Normalized()
+	o.Elastic = o.Elastic.normalized()
 	return o
 }
 
@@ -202,6 +214,9 @@ func validateJobs(jobs []JobSpec, nodes int, failures []fault.NodeFailure) error
 		}
 		if j.Source == "" && j.Script.Source == "" {
 			return fmt.Errorf("workload: job %d (%s) has neither a script nor a source", i, j.Tenant)
+		}
+		if err := j.Elastic.validate(); err != nil {
+			return fmt.Errorf("workload: job %d (%s): %w", i, j.Tenant, err)
 		}
 	}
 	seen := map[int]bool{}

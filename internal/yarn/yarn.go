@@ -186,6 +186,83 @@ func (rm *ResourceManager) Allocate(mem conf.Bytes) (Container, error) {
 	return c, nil
 }
 
+// AllocateGroup grants n containers of the requested memory atomically:
+// either every container is placed (worst-fit, one at a time, so a group
+// of one behaves exactly like Allocate) or none is and the cluster state —
+// including the container ID sequence — is left untouched. The malleable
+// workload service uses it to claim a job's full width in one step, so a
+// partially granted width can never leak containers.
+func (rm *ResourceManager) AllocateGroup(n int, mem conf.Bytes) ([]Container, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("yarn: group of %d containers", n)
+	}
+	if mem > rm.cc.MaxAlloc {
+		return nil, fmt.Errorf("%w: %v exceeds max allocation %v (largest grantable container)",
+			ErrOverMaxAllocation, mem, rm.cc.MaxAlloc)
+	}
+	req := mem
+	if req < rm.cc.MinAlloc {
+		req = rm.cc.MinAlloc
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	granted := make([]Container, 0, n)
+	for k := 0; k < n; k++ {
+		best := -1
+		for i, free := range rm.freeMem {
+			if rm.failed[i] {
+				continue
+			}
+			if free >= req && (best < 0 || free > rm.freeMem[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			// Roll back every provisional grant, restoring the ID sequence
+			// so a failed group attempt is invisible to later allocations.
+			for _, c := range granted {
+				rm.freeMem[c.Node] += req
+				delete(rm.allocated, c.ID)
+			}
+			rm.nextID -= ContainerID(len(granted))
+			return nil, fmt.Errorf("%w: need %v, max free %v", ErrNoCapacity, req, rm.maxFreeLocked())
+		}
+		rm.freeMem[best] -= req
+		rm.nextID++
+		c := Container{ID: rm.nextID, Node: best, Mem: req}
+		rm.allocated[c.ID] = c
+		granted = append(granted, c)
+	}
+	for _, c := range granted {
+		rm.trace.Instant(obs.LayerCluster, "container.alloc",
+			obs.A("id", int64(c.ID)), obs.A("node", c.Node), obs.A("mem", c.Mem.String()))
+		rm.trace.Metrics().Add("yarn.allocations", 1)
+	}
+	return granted, nil
+}
+
+// FreeChunks returns how many containers of the given size the live nodes
+// could grant right now: sum over live nodes of floor(free / mem). The
+// grow planner budgets opportunistic width increases against it.
+func (rm *ResourceManager) FreeChunks(mem conf.Bytes) int {
+	if mem < rm.cc.MinAlloc {
+		mem = rm.cc.MinAlloc
+	}
+	if mem <= 0 {
+		return 0
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	n := 0
+	for i, free := range rm.freeMem {
+		if rm.failed[i] {
+			continue
+		}
+		n += int(free / mem)
+	}
+	return n
+}
+
 // RetryPolicy configures AllocateWithRetry: exponential backoff between
 // attempts in *simulated* seconds (the caller charges the returned wait
 // into its simulated clock).

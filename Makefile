@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-kernels race-workload race-chaos race-server race-opt race-elastic check bench verify-corpus cover
+.PHONY: build test vet race race-kernels race-workload race-chaos race-server race-opt race-elastic race-minibatch check bench verify-corpus cover
 
 build:
 	$(GO) build ./...
@@ -58,13 +58,22 @@ race-elastic:
 race-opt:
 	$(GO) test -race -count=2 ./internal/opt ./internal/matrix
 
-check: vet race race-kernels race-workload race-chaos race-server race-opt race-elastic
+# The iterative mini-batch machinery under the race detector, doubled:
+# epoch detection and epoch-window memo reuse, mid-epoch shrink
+# equivalence and WastedWork accounting, the fuzzer's loop corpus, the
+# mini-batch trace's worker-count determinism, and the policy sweep's
+# straggler/correlated-failure dominance check.
+race-minibatch:
+	$(GO) test -race -count=2 -run 'Epoch|Minibatch|DetectEpochs|FuzzLoop' ./internal/workload ./internal/opt ./internal/verify ./internal/bench
+
+check: vet race race-kernels race-workload race-chaos race-server race-opt race-elastic race-minibatch
 
 # Differential plan verification: the paper corpus plus a fixed-seed fuzz
-# stream, each program run under every resource configuration and against
-# the naive reference interpreter, with the memory-estimate auditor on.
+# stream plus the loop corpus (forced for/parfor over batch slices), each
+# program run under every resource configuration and against the naive
+# reference interpreter, with the memory-estimate auditor on.
 verify-corpus:
-	$(GO) run ./cmd/elastic-verify -corpus -fuzz 25 -seed 1 -v
+	$(GO) run ./cmd/elastic-verify -corpus -fuzz 25 -fuzz-loops 10 -seed 1 -v
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

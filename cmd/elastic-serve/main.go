@@ -112,6 +112,7 @@ func main() {
 	}
 
 	var jobs []workload.JobSpec
+	var scenChaos *fault.ChaosPlan
 	if *listen != "" {
 		// Daemon mode: jobs arrive over the wire, not from a scenario.
 	} else if *scen != "" {
@@ -120,7 +121,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "elastic-serve:", err)
 			os.Exit(2)
 		}
-		jobs, err = workload.LoadScenario(f)
+		jobs, scenChaos, err = workload.LoadScenarioFile(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "elastic-serve:", err)
@@ -165,6 +166,15 @@ func main() {
 	if err := applyChaosFlags(&o, cf); err != nil {
 		fmt.Fprintln(os.Stderr, "elastic-serve:", err)
 		os.Exit(2)
+	}
+	if scenChaos != nil {
+		// Chaos embedded in the scenario file applies unless the command
+		// line sets an explicit chaos regime of its own.
+		if o.Chaos.Enabled() {
+			fmt.Fprintln(os.Stderr, "elastic-serve: scenario file embeds a chaos plan; drop the -chaos-* flags or the file's chaos section")
+			os.Exit(2)
+		}
+		o.Chaos = *scenChaos
 	}
 	if *listen != "" {
 		err := runDaemon(cc, o, daemonConfig{

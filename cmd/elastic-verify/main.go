@@ -37,6 +37,7 @@ func main() {
 	var (
 		seed     = flag.Int64("seed", 1, "fuzz program stream seed")
 		nFuzz    = flag.Int("fuzz", 25, "number of fuzz programs to generate and run")
+		nLoops   = flag.Int("fuzz-loops", 10, "number of loop-corpus fuzz programs (forced for/parfor over batch slices)")
 		corpus   = flag.Bool("corpus", true, "run the curated corpus of paper scripts")
 		ulpTol   = flag.Uint64("ulp", 0, "allowed cross-configuration ULP distance per cell (0 = bit identical)")
 		noRef    = flag.Bool("no-ref", false, "skip the naive reference interpreter comparison")
@@ -52,8 +53,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *nFuzz < 0 {
-		fmt.Fprintln(os.Stderr, "-fuzz must be >= 0")
+	if *nFuzz < 0 || *nLoops < 0 {
+		fmt.Fprintln(os.Stderr, "-fuzz and -fuzz-loops must be >= 0")
 		os.Exit(2)
 	}
 
@@ -64,8 +65,11 @@ func main() {
 	for i := 0; i < *nFuzz; i++ {
 		programs = append(programs, verify.FuzzProgram(*seed, i))
 	}
+	for i := 0; i < *nLoops; i++ {
+		programs = append(programs, verify.FuzzLoopProgram(*seed, i))
+	}
 	if len(programs) == 0 {
-		fmt.Fprintln(os.Stderr, "nothing to run: corpus disabled and -fuzz 0")
+		fmt.Fprintln(os.Stderr, "nothing to run: corpus disabled and -fuzz 0 -fuzz-loops 0")
 		os.Exit(2)
 	}
 

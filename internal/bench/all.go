@@ -35,6 +35,7 @@ func (r *Runner) Experiments() []struct {
 		{"admission", r.Admission},
 		{"kernels", r.Kernels},
 		{"elastic", r.Elastic},
+		{"minibatch", r.Minibatch},
 	}
 }
 

@@ -1,0 +1,136 @@
+package bench
+
+// Mini-batch elasticity sweep (experiment "minibatch"): the iterative
+// epoch-structured workload family (MinibatchLR, MinibatchLinreg, MLP2)
+// under the three scheduling policies on two adversarial traces — a
+// straggler trace where nodes transiently slow down mid-run, and a
+// correlated-failure trace where a rack-scoped group failure removes and
+// restores capacity. Epoch boundaries are the elasticity points: the
+// width-flexible policies admit bursts narrow, grow between epochs, and
+// shrink mid-epoch snapping to the last completed batch, while rigid FIFO
+// head-blocks each burst at full desired width and rides out stragglers
+// at fixed width. The row set is written to BENCH_minibatch.json.
+
+import (
+	"path/filepath"
+
+	"elasticml/internal/fault"
+	"elasticml/internal/workload"
+)
+
+// minibatchTraces returns the named chaos-annotated tenant traces of the
+// sweep. Both use the deterministic mini-batch burst generator; they
+// differ in the injected failure regime.
+func minibatchTraces(quick bool) []struct {
+	Name  string
+	Jobs  []workload.JobSpec
+	Chaos fault.ChaosPlan
+} {
+	counts := []int{12, 24}
+	if quick {
+		counts = []int{12}
+	}
+	var out []struct {
+		Name  string
+		Jobs  []workload.JobSpec
+		Chaos fault.ChaosPlan
+	}
+	for _, n := range counts {
+		out = append(out,
+			struct {
+				Name  string
+				Jobs  []workload.JobSpec
+				Chaos fault.ChaosPlan
+			}{"straggler", workload.GenerateMinibatch(workloadSeed, n), fault.ChaosPlan{
+				Seed: workloadSeed,
+				SlowNodes: []fault.SlowNode{
+					{Node: 0, At: 15, Factor: 3, Duration: 40},
+					{Node: 1, At: 70, Factor: 2, Duration: 30},
+				},
+			}},
+			struct {
+				Name  string
+				Jobs  []workload.JobSpec
+				Chaos fault.ChaosPlan
+			}{"corrfail", workload.GenerateMinibatch(workloadSeed+1, n), fault.ChaosPlan{
+				Seed: workloadSeed,
+				Flaps: []fault.Flap{
+					{Node: 1, At: 30, RestoreAfter: 20},
+				},
+			}},
+		)
+	}
+	return out
+}
+
+// minibatchRows runs the sweep; shared by the experiment and its tests.
+func minibatchRows(quick bool) ([]ElasticRow, error) {
+	cc := elasticCluster()
+	var rows []ElasticRow
+	for _, tr := range minibatchTraces(quick) {
+		for _, pol := range elasticPolicies() {
+			o := workload.DefaultOptions()
+			o.Policy = pol
+			o.Elastic.Tick = 5
+			o.Chaos = tr.Chaos
+			o.Recovery.Kind = workload.RecoveryCheckpoint
+			rep, err := workload.Run(cc, tr.Jobs, o)
+			if err != nil {
+				return nil, err
+			}
+			served := 0
+			delays := make([]float64, 0, len(rep.Tenants))
+			for _, t := range rep.Tenants {
+				if t.Served {
+					served++
+					delays = append(delays, t.QueueDelay)
+				}
+			}
+			rows = append(rows, ElasticRow{
+				Policy:        pol.String(),
+				Trace:         tr.Name,
+				Tenants:       len(tr.Jobs),
+				Served:        served,
+				P50Queue:      quantile(delays, 0.50),
+				P95Queue:      rep.P95QueueDelay,
+				P95Latency:    rep.P95Latency,
+				Makespan:      rep.Makespan,
+				Utilization:   rep.Utilization,
+				WastedWork:    rep.WastedWork,
+				Grows:         rep.Grows,
+				Shrinks:       rep.Shrinks,
+				VolShrinks:    rep.VoluntaryShrinks,
+				MaxConcurrent: rep.MaxConcurrent,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Minibatch (experiment "minibatch") compares the scheduling policies on
+// the epoch-structured traces and writes BENCH_minibatch.json.
+func (r *Runner) Minibatch() error {
+	cc := elasticCluster()
+	r.printf("Mini-batch epoch-elasticity sweep: %d-node cluster, %s/node, seed %d\n",
+		cc.Nodes, cc.MemPerNode, workloadSeed)
+	r.printf("%-14s %8s %7s %9s %9s %9s %7s %8s %6s %7s %7s\n",
+		"trace", "tenants", "policy", "q50[s]", "q95[s]", "p95[s]", "util%", "waste[s]", "grow", "shrink", "narrow")
+
+	rows, err := minibatchRows(r.Quick)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		r.printf("%-14s %8d %7s %9.1f %9.1f %9.1f %6.0f%% %8.1f %6d %7d %7d\n",
+			row.Trace, row.Tenants, row.Policy, row.P50Queue, row.P95Queue, row.P95Latency,
+			100*row.Utilization, row.WastedWork, row.Grows, row.Shrinks, row.VolShrinks)
+	}
+	r.printf("\n")
+
+	path := filepath.Join(r.ArtifactDir, "BENCH_minibatch.json")
+	if err := writeElasticJSON(path, rows); err != nil {
+		return err
+	}
+	r.printf("wrote %s (%d rows)\n", path, len(rows))
+	return nil
+}

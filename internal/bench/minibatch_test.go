@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMinibatchPolicyDominance pins the acceptance claim of the mini-batch
+// sweep: on the straggler trace, the epoch-boundary-aware width-flexible
+// policies strictly beat rigid FIFO's p95 queue delay — growing between
+// epochs and shrinking mid-epoch lets them ride out slow nodes instead of
+// head-blocking each burst — without costing completions. The same
+// dominance must hold on the correlated-failure trace.
+func TestMinibatchPolicyDominance(t *testing.T) {
+	rows, err := minibatchRows(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, trace := range []string{"straggler", "corrfail"} {
+		byPolicy := map[string]ElasticRow{}
+		for _, r := range rows {
+			if r.Trace == trace {
+				byPolicy[r.Policy] = r
+			}
+		}
+		fifo, ok := byPolicy["fifo"]
+		if !ok {
+			t.Fatalf("%s: sweep produced no fifo row", trace)
+		}
+		for _, pol := range []string{"fair", "regret"} {
+			r, ok := byPolicy[pol]
+			if !ok {
+				t.Fatalf("%s: sweep produced no %s row", trace, pol)
+			}
+			if r.P95Queue >= fifo.P95Queue {
+				t.Errorf("%s: %s p95 queue delay %.2f not strictly below fifo %.2f",
+					trace, pol, r.P95Queue, fifo.P95Queue)
+			}
+			if r.Served < fifo.Served {
+				t.Errorf("%s: %s served %d < fifo %d: faster queues must not cost completions",
+					trace, pol, r.Served, fifo.Served)
+			}
+			if r.Grows == 0 {
+				t.Errorf("%s: %s recorded no grows; the sweep is not exercising malleability",
+					trace, pol)
+			}
+		}
+		if fifo.Grows != 0 || fifo.Shrinks != 0 {
+			t.Errorf("%s: fifo must stay rigid, got %d grows %d shrinks",
+				trace, fifo.Grows, fifo.Shrinks)
+		}
+	}
+}
+
+// TestMinibatchWritesJSON checks the experiment writes a well-formed
+// BENCH_minibatch.json with one row per policy/trace combination.
+func TestMinibatchWritesJSON(t *testing.T) {
+	r := New(os.Stderr)
+	r.Quick = true
+	r.ArtifactDir = t.TempDir()
+	if err := r.Run("minibatch"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(r.ArtifactDir, "BENCH_minibatch.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Rows []ElasticRow `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(elasticPolicies()) * len(minibatchTraces(true)); len(doc.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(doc.Rows), want)
+	}
+	for _, row := range doc.Rows {
+		if row.Served == 0 {
+			t.Errorf("row %s/%s served nobody", row.Trace, row.Policy)
+		}
+	}
+}

@@ -22,7 +22,8 @@ var update = flag.Bool("update", false, "rewrite the golden explain files")
 //
 //	go test ./internal/lop -run TestExplainGolden -update
 func TestExplainGolden(t *testing.T) {
-	for _, spec := range scripts.All() {
+	specs := append(scripts.All(), scripts.Minibatch()...)
+	for _, spec := range specs {
 		t.Run(spec.Name, func(t *testing.T) {
 			res := conf.NewResources(2*conf.GB, 512*conf.MB, 64)
 			got := Explain(compile(t, spec, 1_000_000, 1000, res))

@@ -75,7 +75,12 @@ func SparseSize(rows, cols int64, sparsity float64) conf.Bytes {
 	if rows <= 0 || cols <= 0 {
 		return 0
 	}
-	nnz := float64(rows) * float64(cols) * sparsity
+	// Round the reconstructed non-zero count up: sparsity arrives as
+	// nnz/cells and the float product can land just below the integer it
+	// came from (e.g. 190 * (56/190) = 55.999...), and a worst-case
+	// estimate truncated below the true footprint is an estimate-soundness
+	// violation the verify auditor rightly flags.
+	nnz := math.Ceil(float64(rows) * float64(cols) * sparsity)
 	if b := nnz*sparseCellBytes + float64(rows)*sparseRowBytes; b >= float64(maxSizeBytes) {
 		return maxSizeBytes
 	}

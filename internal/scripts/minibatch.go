@@ -1,0 +1,205 @@
+package scripts
+
+// The iterative mini-batch family: epoch-structured gradient-descent
+// programs whose outer for-loop iterates epochs and whose inner for-loop
+// slices the training matrix into contiguous mini-batches via dynamic
+// indexing. They exist to exercise the loop/epoch code path end to end —
+// hop for-block compilation with loop-variable index bounds, per-epoch
+// §5 re-optimization windows, and epoch-boundary elasticity decisions
+// (grow between epochs, shrink snapping to the last completed batch).
+
+// Minibatch returns the iterative mini-batch programs in a fixed order:
+// mini-batch logistic regression, mini-batch linear regression, and a
+// small two-layer perceptron.
+func Minibatch() []Spec {
+	return []Spec{MinibatchLR(), MinibatchLinreg(), MLP2()}
+}
+
+// MinibatchLR returns mini-batch logistic regression: sigmoid
+// cross-entropy gradient descent over contiguous batch slices with L2
+// regularization. Labels are expected in {0,1}.
+func MinibatchLR() Spec {
+	return Spec{Name: "MinibatchLR", Source: minibatchLRSource,
+		Params: minibatchParams(), HasUnknowns: true, Iterative: true}
+}
+
+// MinibatchLinreg returns mini-batch linear regression: squared-loss
+// gradient descent over contiguous batch slices with L2 regularization.
+func MinibatchLinreg() Spec {
+	return Spec{Name: "MinibatchLinreg", Source: minibatchLinregSource,
+		Params: minibatchParams(), HasUnknowns: true, Iterative: true}
+}
+
+// MLP2 returns a small two-layer perceptron (one sigmoid hidden layer,
+// linear output, squared loss) trained by mini-batch gradient descent.
+func MLP2() Spec {
+	return Spec{Name: "MLP2", Source: mlp2Source,
+		Params: minibatchParams(), HasUnknowns: true, Iterative: true}
+}
+
+// minibatchParams extends the paper defaults with the epoch-structure
+// parameters shared by the mini-batch family. The base specs keep their
+// own defaultParams() untouched so their cache keys do not move.
+func minibatchParams() map[string]interface{} {
+	p := defaultParams()
+	p["epochs"] = float64(3)  // outer loop trip count
+	p["batches"] = float64(4) // mini-batches per epoch
+	p["eta"] = 0.1            // learning-rate numerator (step = eta/epoch)
+	p["hidden"] = float64(4)  // MLP2 hidden width
+	p["B2"] = "/out/beta_w2"  // MLP2 second-layer weight output
+	return p
+}
+
+const minibatchLRSource = `# Mini-batch logistic regression (sigmoid + L2), epoch-structured.
+# Outer loop iterates epochs; inner loop slices X row-wise into $batches
+# contiguous mini-batches via dynamic indexing and applies one gradient
+# step per batch. Labels y are in {0,1}.
+X = read($X);
+y = read($Y);
+lambda = $reg;
+eta0 = $eta;
+epochs = $epochs;
+nb = $batches;
+
+n = nrow(X);
+m = ncol(X);
+bs = floor(n / nb);
+
+w = matrix(0, rows=m, cols=1);
+
+for (e in 1:epochs) {
+  # simple 1/e step-size decay keeps the iterates bounded
+  step = eta0 / e;
+  for (b in 1:nb) {
+    start = (b - 1) * bs + 1;
+    end = b * bs;
+    if (b == nb) {
+      # the last batch absorbs the remainder rows
+      end = n;
+    }
+    Xb = X[start:end, 1:m];
+    yb = y[start:end, 1:1];
+    bn = nrow(Xb);
+
+    p = 1 / (1 + exp(-(Xb %*% w)));
+    grad = t(Xb) %*% (p - yb) / bn + lambda * w;
+    w = w - step * grad;
+  }
+  # per-epoch diagnostic on the full data
+  pe = 1 / (1 + exp(-(X %*% w)));
+  err = sum(abs(round(pe) - y)) / n;
+  print("EPOCH_ERR " + err);
+}
+
+p_full = 1 / (1 + exp(-(X %*% w)));
+train_err = sum(abs(round(p_full) - y)) / n;
+print("TRAIN_ERR " + train_err);
+print("NORM_W " + sqrt(sum(w ^ 2)));
+
+write(w, $B);
+`
+
+const minibatchLinregSource = `# Mini-batch linear regression (squared loss + L2), epoch-structured.
+# Same epoch/batch skeleton as MinibatchLR with a linear model and
+# squared-loss gradient.
+X = read($X);
+y = read($Y);
+lambda = $reg;
+eta0 = $eta;
+epochs = $epochs;
+nb = $batches;
+
+n = nrow(X);
+m = ncol(X);
+bs = floor(n / nb);
+
+w = matrix(0, rows=m, cols=1);
+
+for (e in 1:epochs) {
+  step = eta0 / e;
+  for (b in 1:nb) {
+    start = (b - 1) * bs + 1;
+    end = b * bs;
+    if (b == nb) {
+      end = n;
+    }
+    Xb = X[start:end, 1:m];
+    yb = y[start:end, 1:1];
+    bn = nrow(Xb);
+
+    r = Xb %*% w - yb;
+    grad = t(Xb) %*% r / bn + lambda * w;
+    w = w - step * grad;
+  }
+  res = X %*% w - y;
+  mse = sum(res ^ 2) / n;
+  print("EPOCH_MSE " + mse);
+}
+
+res_full = X %*% w - y;
+print("TRAIN_MSE " + sum(res_full ^ 2) / n);
+print("NORM_W " + sqrt(sum(w ^ 2)));
+
+write(w, $B);
+`
+
+const mlp2Source = `# Two-layer perceptron: sigmoid hidden layer, linear output, squared
+# loss, mini-batch gradient descent. Weights are initialized from
+# deterministic seq outer products (symmetry breaking without RNG).
+X = read($X);
+y = read($Y);
+lambda = $reg;
+eta0 = $eta;
+epochs = $epochs;
+nb = $batches;
+h = $hidden;
+
+n = nrow(X);
+m = ncol(X);
+bs = floor(n / nb);
+
+# deterministic non-constant init, scaled small
+r_in = seq(1, m);
+r_hid = seq(1, h);
+W1 = (r_in %*% t(r_hid)) / (m * h) * 0.1;
+W2 = (r_hid - h / 2) / h * 0.1;
+
+for (e in 1:epochs) {
+  step = eta0 / e;
+  for (b in 1:nb) {
+    start = (b - 1) * bs + 1;
+    end = b * bs;
+    if (b == nb) {
+      end = n;
+    }
+    Xb = X[start:end, 1:m];
+    yb = y[start:end, 1:1];
+    bn = nrow(Xb);
+
+    # forward: sigmoid hidden layer, linear output
+    H = 1 / (1 + exp(-(Xb %*% W1)));
+    out = H %*% W2;
+    err = out - yb;
+
+    # backward
+    dW2 = t(H) %*% err / bn + lambda * W2;
+    dH = (err %*% t(W2)) * H * (1 - H);
+    dW1 = t(Xb) %*% dH / bn + lambda * W1;
+
+    W1 = W1 - step * dW1;
+    W2 = W2 - step * dW2;
+  }
+  Hf = 1 / (1 + exp(-(X %*% W1)));
+  ef = Hf %*% W2 - y;
+  print("EPOCH_MSE " + sum(ef ^ 2) / n);
+}
+
+H_full = 1 / (1 + exp(-(X %*% W1)));
+e_full = H_full %*% W2 - y;
+print("TRAIN_MSE " + sum(e_full ^ 2) / n);
+print("NORM_W1 " + sqrt(sum(W1 ^ 2)));
+print("NORM_W2 " + sqrt(sum(W2 ^ 2)));
+
+write(W1, $B);
+write(W2, $B2);
+`

@@ -28,9 +28,15 @@ func All() []Spec {
 	return []Spec{LinregDS(), LinregCG(), L2SVM(), MLogreg(), GLM()}
 }
 
-// ByName returns the program with the given name, or ok=false.
+// ByName returns the program with the given name, or ok=false. It searches
+// the paper's five batch programs and the iterative mini-batch family.
 func ByName(name string) (Spec, bool) {
 	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range Minibatch() {
 		if s.Name == name {
 			return s, true
 		}

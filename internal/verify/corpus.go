@@ -97,6 +97,40 @@ func Corpus() []Program {
 	}
 	icpt.Params["icpt"] = float64(1)
 	out = append(out, icpt)
+
+	// The iterative mini-batch family: epoch/batch for-loops with dynamic
+	// index bounds. LR and MLP2 run with 3 batches (80 rows do not divide
+	// evenly, so the remainder-batch branch executes); Linreg keeps the
+	// default 4 to cover the evenly-divisible path.
+	for _, spec := range scripts.Minibatch() {
+		p := Program{Name: spec.Name, Source: spec.Source, Params: cloneParams(spec.Params)}
+		switch spec.Name {
+		case "MinibatchLR":
+			// Labels in {0,1}, linearly separable by construction.
+			p.Params["batches"] = float64(3)
+			p.Setup = func(fs *hdfs.FS) {
+				x := matrix.Random(corpusN, corpusM, 1.0, -1, 1, 49)
+				w := matrix.Random(corpusM, 1, 1.0, -1, 1, 50)
+				s := matrix.Mul(x, w)
+				y := matrix.Filled(corpusN, 1, 0)
+				for i := 0; i < corpusN; i++ {
+					if s.At(i, 0) >= 0 {
+						y.Set(i, 0, 1)
+					}
+				}
+				fs.PutMatrix("/data/X", x.Compact())
+				fs.PutMatrix("/data/y", y.Compact())
+			}
+		case "MinibatchLinreg":
+			p.Setup = regressionSetup(51)
+		case "MLP2":
+			p.Params["batches"] = float64(3)
+			p.Setup = regressionSetup(52)
+		default:
+			panic(fmt.Sprintf("verify: corpus has no setup for script %q", spec.Name))
+		}
+		out = append(out, p)
+	}
 	return out
 }
 

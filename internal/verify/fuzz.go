@@ -48,6 +48,20 @@ const magCap = 1e12
 // FuzzProgram generates the i-th program of a seeded stream. The same
 // (seed, i) always yields the identical program and input data.
 func FuzzProgram(seed int64, i int) Program {
+	return fuzzProgram(seed, i, 0, fmt.Sprintf("fuzz-%d", i))
+}
+
+// FuzzLoopProgram generates the i-th program of the loop-corpus stream:
+// the same grammar as FuzzProgram, plus at least two forced iterative
+// templates (bounded for/parfor loops over batch slices with dynamic
+// index bounds, trip counts <= 8). The loop corpus differentially tests
+// the same epoch/batch program shapes the mini-batch workload family
+// relies on.
+func FuzzLoopProgram(seed int64, i int) Program {
+	return fuzzProgram(seed, i, 2, fmt.Sprintf("fuzz-loop-%d", i))
+}
+
+func fuzzProgram(seed int64, i, forcedLoops int, name string) Program {
 	r := rand.New(rand.NewSource(seed + int64(i)*1_000_003))
 	f := &fuzzer{r: r}
 
@@ -79,11 +93,14 @@ func FuzzProgram(seed int64, i int) Program {
 	for s := 0; s < nStmts; s++ {
 		f.stmt()
 	}
+	for l := 0; l < forcedLoops; l++ {
+		f.stmtLoop()
+	}
 	f.trailer()
 
 	src := f.b.String()
 	return Program{
-		Name:   fmt.Sprintf("fuzz-%d", i),
+		Name:   name,
 		Source: src,
 		Params: map[string]interface{}{"X": "/data/X", "Y": "/data/y", "L": "/data/L"},
 		Setup: func(fs *hdfs.FS) {
@@ -130,7 +147,18 @@ func (f *fuzzer) litScalar() (string, float64) {
 // stmt emits one random statement.
 func (f *fuzzer) stmt() {
 	for {
-		if f.tryTemplate(f.r.Intn(22)) {
+		if f.tryTemplate(f.r.Intn(25)) {
+			return
+		}
+	}
+}
+
+// stmtLoop forces one of the batch-slice loop templates (22..24). X is
+// always live with rows >= 15 and magnitude 1, so a retry always finds an
+// eligible operand.
+func (f *fuzzer) stmtLoop() {
+	for {
+		if f.tryTemplate(22 + f.r.Intn(3)) {
 			return
 		}
 	}
@@ -507,6 +535,101 @@ func (f *fuzzer) tryTemplate(t int) bool {
 		}
 		f.depth--
 		f.addMat(fuzzVar{name: n, rows: a.rows, cols: a.cols, mag: mag + 3})
+		return true
+
+	case 22: // batch-slice for loop: dynamic index bounds from the loop var
+		if f.depth > 0 {
+			return false
+		}
+		a := f.pickMat()
+		if a.rows < 4 {
+			return false
+		}
+		mag := a.mag*float64(a.rows) + 1
+		if mag > magCap {
+			return false
+		}
+		nb := 2 + f.r.Intn(3) // 2..4 batches, trip count <= 8
+		bs := a.rows / nb
+		acc := f.fresh("m")
+		iv := f.fresh("i")
+		lo := f.fresh("s")
+		hi := f.fresh("s")
+		f.line("%s = matrix(0, rows=1, cols=%d);", acc, a.cols)
+		f.depth++
+		f.line("for (%s in 1:%d) {", iv, nb)
+		f.line("  %s = (%s - 1) * %d + 1;", lo, iv, bs)
+		f.line("  %s = %s * %d;", hi, iv, bs)
+		if bs*nb < a.rows && f.r.Intn(2) == 0 {
+			// Absorb the remainder rows into the last batch, the same
+			// shape as the mini-batch scripts' ragged final slice.
+			f.line("  if (%s == %d) {", iv, nb)
+			f.line("    %s = %d;", hi, a.rows)
+			f.line("  }")
+		}
+		f.line("  %s = %s + colSums(%s[%s:%s, 1:%d]);", acc, acc, a.name, lo, hi, a.cols)
+		f.line("}")
+		f.depth--
+		f.addMat(fuzzVar{name: acc, rows: 1, cols: a.cols, mag: mag})
+		return true
+
+	case 23: // nested epoch x batch loop: the mini-batch gradient shape
+		if f.depth > 0 {
+			return false
+		}
+		a := f.pickMat()
+		if a.rows < 4 {
+			return false
+		}
+		ne := 2 + f.r.Intn(2) // 2..3 epochs
+		nb := 2 + f.r.Intn(2) // 2..3 batches per epoch
+		mag := a.mag*float64(a.rows)*float64(ne) + 1
+		if mag > magCap {
+			return false
+		}
+		bs := a.rows / nb
+		acc := f.fresh("m")
+		ev := f.fresh("i")
+		bv := f.fresh("i")
+		lo := f.fresh("s")
+		hi := f.fresh("s")
+		f.line("%s = matrix(0, rows=1, cols=%d);", acc, a.cols)
+		f.depth++
+		f.line("for (%s in 1:%d) {", ev, ne)
+		f.line("  for (%s in 1:%d) {", bv, nb)
+		f.line("    %s = (%s - 1) * %d + 1;", lo, bv, bs)
+		f.line("    %s = %s * %d;", hi, bv, bs)
+		f.line("    %s = %s + colSums(%s[%s:%s, 1:%d]) / %s;", acc, acc, a.name, lo, hi, a.cols, ev)
+		f.line("  }")
+		f.line("}")
+		f.depth--
+		f.addMat(fuzzVar{name: acc, rows: 1, cols: a.cols, mag: mag})
+		return true
+
+	case 24: // parfor over per-batch row slices into disjoint output rows
+		if f.depth > 0 {
+			return false
+		}
+		a := f.pickMat()
+		if a.rows < 4 {
+			return false
+		}
+		mag := a.mag*float64(a.rows) + 1
+		if mag > magCap {
+			return false
+		}
+		nb := 2 + f.r.Intn(3) // 2..4 batches, trip count <= 8
+		bs := a.rows / nb
+		out := f.fresh("m")
+		iv := f.fresh("i")
+		f.line("%s = matrix(0, rows=%d, cols=1);", out, nb)
+		f.depth++
+		f.line("parfor (%s in 1:%d) {", iv, nb)
+		f.line("  %s[%s, 1] = matrix(sum(%s[((%s - 1) * %d + 1):(%s * %d), 1:%d]), rows=1, cols=1);",
+			out, iv, a.name, iv, bs, iv, bs, a.cols)
+		f.line("}")
+		f.depth--
+		f.addMat(fuzzVar{name: out, rows: nb, cols: 1, mag: mag})
 		return true
 
 	default: // table over a fresh label read-back via min/max clamp

@@ -244,7 +244,7 @@ func (s *Service) growCandidates() []resizeCand {
 		if w >= j.espec.MaxContainers {
 			continue
 		}
-		if _, ok := s.nextBoundary(j); !ok {
+		if _, ok := s.resizePoint(j, +1); !ok {
 			continue
 		}
 		switch s.opts.Policy {
@@ -357,7 +357,7 @@ func (s *Service) planShrink() {
 		if s.opts.Policy == PolicyFair && w <= s.fairShare(j) {
 			continue // fair-share only takes from over-share jobs
 		}
-		if _, ok := s.nextBoundary(j); !ok {
+		if _, ok := s.resizePoint(j, -1); !ok {
 			continue
 		}
 		var score float64
@@ -385,7 +385,14 @@ func (s *Service) planShrink() {
 // work has run yet), or the next block boundary of its progress schedule.
 // ok is false when the next boundary is completion itself.
 func (s *Service) nextBoundary(j *job) (float64, bool) {
-	if j.blocks < 1 || j.ckpt >= 1 {
+	return s.boundaryAfter(j, float64(j.blocks))
+}
+
+// boundaryAfter is the shared boundary clock: the next multiple of 1/bf of
+// total progress that the job has not yet passed, mapped onto simulated
+// time via the linear progress schedule.
+func (s *Service) boundaryAfter(j *job, bf float64) (float64, bool) {
+	if bf < 1 || j.ckpt >= 1 {
 		return 0, false
 	}
 	if s.now <= j.execStart {
@@ -394,7 +401,6 @@ func (s *Service) nextBoundary(j *job) (float64, bool) {
 		return j.execStart, true
 	}
 	p := s.progressAt(j)
-	bf := float64(j.blocks)
 	b := math.Ceil(p*bf-1e-9) / bf
 	if b >= 1-1e-12 {
 		return 0, false
@@ -406,13 +412,52 @@ func (s *Service) nextBoundary(j *job) (float64, bool) {
 	return t, true
 }
 
-// scheduleResize books a width change for a running job at its next block
-// boundary. The pending target keeps the planner from double-promising the
-// same capacity; the event's generation check drops the plan if anything
-// reschedules the job first.
+// resizePoint returns when a width change in the given direction (+1 grow,
+// -1 shrink) may take effect. Epoch-structured jobs (detected from the
+// compiled program's for-loop trip counts) treat epoch boundaries as
+// first-class elasticity points: grows wait for the next epoch boundary,
+// where the plan re-optimizes anyway and no in-flight batch exists, while
+// shrinks fire immediately mid-epoch and snap progress back to the last
+// completed batch (the partial batch is re-done and accounted as
+// WastedWork). Jobs without epoch structure keep the block-boundary
+// behavior.
+func (s *Service) resizePoint(j *job, dir int) (float64, bool) {
+	if j.epochs < 1 {
+		return s.nextBoundary(j)
+	}
+	if dir > 0 {
+		// Grow between epochs: j.blocks = epochs*batches, so every
+		// epochs-th block boundary is an epoch boundary.
+		return s.boundaryAfter(j, float64(j.epochs))
+	}
+	// Shrink mid-epoch: effective as soon as execution is under way.
+	if j.ckpt >= 1 {
+		return 0, false
+	}
+	if s.now <= j.execStart {
+		return j.execStart, true
+	}
+	if s.progressAt(j) >= 1-1e-12 {
+		return 0, false
+	}
+	return s.now, true
+}
+
+// scheduleResize books a width change for a running job at its next
+// eligibility point (block boundary, epoch boundary for epoch-job grows,
+// or immediately for epoch-job shrinks). The pending target keeps the
+// planner from double-promising the same capacity; the event's generation
+// check drops the plan if anything reschedules the job first.
 func (s *Service) scheduleResize(j *job, target int) bool {
-	at, ok := s.nextBoundary(j)
-	if !ok || target == len(j.conts) {
+	if target == len(j.conts) {
+		return false
+	}
+	dir := +1
+	if target < len(j.conts) {
+		dir = -1
+	}
+	at, ok := s.resizePoint(j, dir)
+	if !ok {
 		return false
 	}
 	j.pendingW = target
@@ -468,6 +513,10 @@ func (s *Service) applyResize(ev event) {
 		} else {
 			// Width changes commit at block boundaries: partial progress
 			// since the last boundary is re-done, like a checkpoint restart.
+			// Epoch jobs snap at batch granularity (j.blocks =
+			// epochs*batches); a mid-epoch shrink loses the in-flight
+			// partial batch, which is real re-done work and accounted as
+			// WastedWork (grows land on epoch boundaries, losing nothing).
 			done := s.progressAt(j)
 			ck := math.Floor(done*float64(j.blocks)+1e-9) / float64(j.blocks)
 			if ck < j.ckpt {
@@ -476,8 +525,19 @@ func (s *Service) applyResize(ev event) {
 			if ck > 1 {
 				ck = 1
 			}
+			if j.epochs > 0 && done-ck > 1e-9 {
+				wasted := (done - ck) * j.total
+				j.result.WastedWork += wasted
+				s.rep.WastedWork += wasted
+				s.tr.Metrics().Add("workload.resize_wasted", 1)
+			}
 			j.res, j.cost = res, cost
-			if j.blocks = c.hp.NumLeaf; j.blocks < 1 {
+			if j.epochs > 0 {
+				j.blocks = j.epochs * j.batches
+			} else {
+				j.blocks = c.hp.NumLeaf
+			}
+			if j.blocks < 1 {
 				j.blocks = 1
 			}
 			j.total = sr.simSeconds

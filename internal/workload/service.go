@@ -145,9 +145,15 @@ type job struct {
 	// ckpt is the completed-work fraction snapshotted at the last block
 	// boundary; a restart resumes from here (always 0 under naive restart).
 	ckpt float64
-	// blocks is the program's leaf-block count — the checkpoint
-	// granularity.
+	// blocks is the checkpoint granularity: the program's leaf-block count,
+	// or epochs*batches for epoch-structured iterative programs.
 	blocks int
+	// epochs/batches describe the program's epoch structure when the
+	// compiled hop program carries statically-known epoch/batch for-loops
+	// (opt.DetectEpochs); 0 for one-shot batch programs. Epoch jobs grow at
+	// epoch boundaries and shrink mid-epoch snapping to the last completed
+	// batch.
+	epochs, batches int
 	// retries counts container losses charged against the retry budget.
 	retries int
 	// requeued marks the next admission as a post-failure re-admission.
@@ -1083,8 +1089,16 @@ func (s *Service) tryAdmit() {
 		}
 		// Checkpoint bookkeeping: block count and full execution time feed
 		// the progress model; a slowed node stretches the remaining work by
-		// the speculation-capped factor.
-		j.blocks = a.c.hp.NumLeaf
+		// the speculation-capped factor. Epoch-structured programs checkpoint
+		// at batch granularity instead of leaf-block granularity, making
+		// every batch boundary an elasticity point.
+		if ep, ok := opt.DetectEpochs(a.c.hp); ok {
+			j.epochs, j.batches = ep.Epochs, ep.Batches
+			j.blocks = ep.Boundaries()
+		} else {
+			j.epochs, j.batches = 0, 0
+			j.blocks = a.c.hp.NumLeaf
+		}
 		if j.blocks < 1 {
 			j.blocks = 1
 		}
